@@ -1,0 +1,85 @@
+// Command erpc-client load-tests a real eRPC server over UDP (see
+// cmd/erpc-server) and prints latency percentiles and throughput.
+//
+// Usage:
+//
+//	erpc-client -bind 127.0.0.1:31900 -server 127.0.0.1:31850 -n 100000 -window 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/erpc"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		bind   = flag.String("bind", "127.0.0.1:31900", "UDP bind address")
+		server = flag.String("server", "127.0.0.1:31850", "server UDP address")
+		n      = flag.Int("n", 100_000, "requests to issue")
+		window = flag.Int("window", 16, "requests in flight")
+		size   = flag.Int("size", 32, "request payload bytes")
+	)
+	flag.Parse()
+
+	tr, err := erpc.NewUDPTransport(erpc.Addr{Node: 100, Port: 0}, *bind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+	srvAddr := erpc.Addr{Node: 1, Port: 0}
+	if err := tr.AddPeer(srvAddr, *server); err != nil {
+		log.Fatal(err)
+	}
+
+	rpc := erpc.NewRpc(erpc.NewNexus(), erpc.Config{Transport: tr, Clock: erpc.NewWallClock()})
+	sess, err := rpc.CreateSession(srvAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rec := stats.NewRecorder(*n)
+	payload := make([]byte, *size)
+	done := 0
+	issued := 0
+	start := time.Now()
+	var issue func()
+	issue = func() {
+		if issued >= *n {
+			return
+		}
+		issued++
+		req := rpc.Alloc(*size)
+		copy(req.Data(), payload)
+		resp := rpc.Alloc(*size + 64)
+		t0 := time.Now()
+		rpc.EnqueueRequest(sess, 3, req, resp, func(err error) {
+			if err != nil {
+				log.Printf("rpc error: %v", err)
+			} else {
+				rec.Add(float64(time.Since(t0).Microseconds()))
+			}
+			done++
+			rpc.Free(req)
+			rpc.Free(resp)
+			issue()
+		})
+	}
+	for i := 0; i < *window; i++ {
+		issue()
+	}
+	for done < *n {
+		if !rpc.RunEventLoopOnce() {
+			rpc.WaitForWork(200 * time.Microsecond)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("completed %d RPCs in %v: %.0f req/s\n", done, elapsed,
+		float64(done)/elapsed.Seconds())
+	fmt.Printf("latency µs: %s\n", rec.Summary())
+	fmt.Printf("retransmits: %d\n", rpc.Stats.Retransmits)
+}

@@ -1,0 +1,113 @@
+// Package erpc is the public API of this eRPC reproduction: a fast,
+// general-purpose RPC library for datacenter networks (Kalia,
+// Kaminsky, Andersen — "Datacenter RPCs can be General and Fast",
+// NSDI 2019).
+//
+// # Model
+//
+// Servers register request handlers with a Nexus (one per process),
+// keyed by a request type byte. Each dispatch thread owns one Rpc
+// endpoint; a Session is a one-to-one connection between two
+// endpoints. RPCs are asynchronous: EnqueueRequest returns
+// immediately and the continuation runs from the endpoint's event
+// loop when the response arrives. Handlers run in the dispatch
+// thread by default, or in worker threads when marked long-running.
+//
+// # Quickstart
+//
+//	nx := erpc.NewNexus()
+//	nx.Register(1, erpc.Handler{Fn: func(ctx *erpc.ReqContext) {
+//		out := ctx.AllocResponse(len(ctx.Req))
+//		copy(out, ctx.Req)
+//		ctx.EnqueueResponse()
+//	}})
+//	rpc := erpc.NewRpc(nx, erpc.Config{Transport: tr, Clock: erpc.NewWallClock()})
+//	sess, _ := rpc.CreateSession(serverAddr)
+//	req, resp := rpc.Alloc(5), rpc.Alloc(64)
+//	copy(req.Data(), "hello")
+//	rpc.EnqueueRequest(sess, 1, req, resp, func(err error) { ... })
+//	rpc.RunEventLoop(stop)
+//
+// Two transports are provided: a real UDP transport (NewUDPTransport)
+// for running on commodity kernels, and the simulated datacenter
+// fabric in internal/simnet used by the paper-reproduction benchmarks.
+package erpc
+
+import (
+	"repro/internal/core"
+	"repro/internal/msgbuf"
+	"repro/internal/sim"
+	"repro/internal/timely"
+	"repro/internal/transport"
+)
+
+// Core types, re-exported.
+type (
+	// Rpc is an RPC endpoint owned by one dispatch thread.
+	Rpc = core.Rpc
+	// Config configures an Rpc endpoint.
+	Config = core.Config
+	// Nexus is the per-process request handler registry.
+	Nexus = core.Nexus
+	// Handler services one request type.
+	Handler = core.Handler
+	// ReqContext is passed to request handlers.
+	ReqContext = core.ReqContext
+	// Session is a connection between two Rpc endpoints.
+	Session = core.Session
+	// Opts toggles the common-case optimizations (paper Table 3).
+	Opts = core.Opts
+	// CostModel is the simulated CPU cost model.
+	CostModel = core.CostModel
+	// Stats counts endpoint events.
+	Stats = core.Stats
+	// Buf is a zero-copy message buffer.
+	Buf = msgbuf.Buf
+	// Addr identifies an Rpc endpoint (node, port).
+	Addr = transport.Addr
+	// Transport is unreliable datagram I/O, eRPC's only network
+	// requirement.
+	Transport = transport.Transport
+	// Clock supplies timestamps (virtual or wall).
+	Clock = sim.Clock
+	// Time is a nanosecond timestamp/duration on the Clock.
+	Time = sim.Time
+	// TimelyParams tunes congestion control.
+	TimelyParams = timely.Params
+)
+
+// Errors, re-exported.
+var (
+	ErrRespTooBig      = core.ErrRespTooBig
+	ErrPeerFailure     = core.ErrPeerFailure
+	ErrSessionClosed   = core.ErrSessionClosed
+	ErrTooManySessions = core.ErrTooManySessions
+	ErrReqTooBig       = core.ErrReqTooBig
+)
+
+// Defaults, re-exported.
+const (
+	DefaultCredits  = core.DefaultCredits
+	DefaultNumSlots = core.DefaultNumSlots
+	DefaultRTO      = core.DefaultRTO
+)
+
+// NewNexus returns an empty handler registry.
+func NewNexus() *Nexus { return core.NewNexus() }
+
+// NewRpc creates an endpoint using the handlers registered with nexus.
+func NewRpc(nexus *Nexus, cfg Config) *Rpc { return core.NewRpc(nexus, cfg) }
+
+// DefaultCostModel returns the calibrated simulation cost model.
+func DefaultCostModel() CostModel { return core.DefaultCostModel() }
+
+// NewWallClock returns a Clock backed by the monotonic system clock,
+// for real-transport deployments.
+func NewWallClock() Clock { return sim.NewWallClock() }
+
+// NewUDPTransport binds a real UDP socket for endpoint addr at the
+// given bind address (e.g. "127.0.0.1:0"). Use AddPeer on the returned
+// transport to map remote endpoint addresses to UDP addresses.
+func NewUDPTransport(addr Addr, bind string) (*transport.UDP, error) {
+	return transport.NewUDP(addr, bind)
+}

@@ -1,0 +1,170 @@
+package erpc_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/erpc"
+)
+
+// TestUDPEndToEnd exercises the full public API over a real UDP
+// loopback: two endpoints, each driven by its own goroutine, echoing a
+// small RPC. This is the "eRPC as a usable library" smoke test.
+func TestUDPEndToEnd(t *testing.T) {
+	nx := erpc.NewNexus()
+	nx.Register(1, erpc.Handler{Fn: func(ctx *erpc.ReqContext) {
+		out := ctx.AllocResponse(len(ctx.Req))
+		copy(out, ctx.Req)
+		ctx.EnqueueResponse()
+	}})
+
+	srvAddr := erpc.Addr{Node: 1, Port: 0}
+	cliAddr := erpc.Addr{Node: 0, Port: 0}
+
+	srvTr, err := erpc.NewUDPTransport(srvAddr, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvTr.Close()
+	cliTr, err := erpc.NewUDPTransport(cliAddr, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliTr.Close()
+	if err := srvTr.AddPeer(cliAddr, cliTr.BoundAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cliTr.AddPeer(srvAddr, srvTr.BoundAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	defer close(stop)
+
+	go func() {
+		srv := erpc.NewRpc(nx, erpc.Config{Transport: srvTr, Clock: erpc.NewWallClock()})
+		srv.RunEventLoop(stop)
+	}()
+
+	done := make(chan string, 1)
+	go func() {
+		cli := erpc.NewRpc(nx, erpc.Config{Transport: cliTr, Clock: erpc.NewWallClock()})
+		sess, err := cli.CreateSession(srvAddr)
+		if err != nil {
+			t.Error(err)
+			done <- ""
+			return
+		}
+		req := cli.Alloc(12)
+		copy(req.Data(), "ping-over-ip")
+		resp := cli.Alloc(64)
+		finished := false
+		cli.EnqueueRequest(sess, 1, req, resp, func(err error) {
+			if err != nil {
+				t.Errorf("rpc: %v", err)
+			}
+			finished = true
+		})
+		deadline := time.Now().Add(5 * time.Second)
+		for !finished && time.Now().Before(deadline) {
+			if !cli.RunEventLoopOnce() {
+				cli.WaitForWork(200 * time.Microsecond)
+			}
+		}
+		if !finished {
+			done <- ""
+			return
+		}
+		done <- string(resp.Data())
+	}()
+
+	select {
+	case got := <-done:
+		if got != "ping-over-ip" {
+			t.Fatalf("echo over UDP = %q", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out")
+	}
+}
+
+// TestUDPMultiPacket sends a message larger than one datagram over
+// loopback, exercising CRs and RFRs on the real transport.
+func TestUDPMultiPacket(t *testing.T) {
+	nx := erpc.NewNexus()
+	nx.Register(1, erpc.Handler{Fn: func(ctx *erpc.ReqContext) {
+		out := ctx.AllocResponse(len(ctx.Req))
+		copy(out, ctx.Req)
+		ctx.EnqueueResponse()
+	}})
+
+	srvAddr := erpc.Addr{Node: 1, Port: 0}
+	cliAddr := erpc.Addr{Node: 0, Port: 0}
+	srvTr, err := erpc.NewUDPTransport(srvAddr, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvTr.Close()
+	cliTr, err := erpc.NewUDPTransport(cliAddr, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliTr.Close()
+	srvTr.AddPeer(cliAddr, cliTr.BoundAddr().String())
+	cliTr.AddPeer(srvAddr, srvTr.BoundAddr().String())
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		srv := erpc.NewRpc(nx, erpc.Config{Transport: srvTr, Clock: erpc.NewWallClock()})
+		srv.RunEventLoop(stop)
+	}()
+
+	payload := make([]byte, 10_000) // ~7 datagrams at 1472 MTU
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	done := make(chan bool, 1)
+	go func() {
+		cli := erpc.NewRpc(nx, erpc.Config{Transport: cliTr, Clock: erpc.NewWallClock()})
+		sess, _ := cli.CreateSession(srvAddr)
+		req := cli.Alloc(len(payload))
+		copy(req.Data(), payload)
+		resp := cli.Alloc(16 * 1024)
+		finished := false
+		var rpcErr error
+		cli.EnqueueRequest(sess, 1, req, resp, func(err error) {
+			finished = true
+			rpcErr = err
+		})
+		deadline := time.Now().Add(10 * time.Second)
+		for !finished && time.Now().Before(deadline) {
+			if !cli.RunEventLoopOnce() {
+				cli.WaitForWork(200 * time.Microsecond)
+			}
+		}
+		if !finished || rpcErr != nil {
+			t.Errorf("finished=%v err=%v", finished, rpcErr)
+			done <- false
+			return
+		}
+		ok := resp.MsgSize() == len(payload)
+		if ok {
+			for i, v := range resp.Data() {
+				if v != payload[i] {
+					ok = false
+					break
+				}
+			}
+		}
+		done <- ok
+	}()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("multi-packet echo over UDP failed")
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("timed out")
+	}
+}

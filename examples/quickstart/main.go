@@ -1,0 +1,92 @@
+// Quickstart: a real eRPC server and client over UDP loopback in one
+// process. Demonstrates the core API: Nexus handler registration,
+// session creation, asynchronous requests with continuations, and the
+// event loop.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/erpc"
+)
+
+const reqEcho = 1
+
+func main() {
+	// 1. Register handlers (one Nexus per process).
+	nx := erpc.NewNexus()
+	nx.Register(reqEcho, erpc.Handler{Fn: func(ctx *erpc.ReqContext) {
+		out := ctx.AllocResponse(len(ctx.Req))
+		copy(out, ctx.Req)
+		ctx.EnqueueResponse()
+	}})
+
+	// 2. Bind two endpoints on loopback and introduce them.
+	srvAddr := erpc.Addr{Node: 1, Port: 0}
+	cliAddr := erpc.Addr{Node: 0, Port: 0}
+	srvTr, err := erpc.NewUDPTransport(srvAddr, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srvTr.Close()
+	cliTr, err := erpc.NewUDPTransport(cliAddr, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cliTr.Close()
+	srvTr.AddPeer(cliAddr, cliTr.BoundAddr().String())
+	cliTr.AddPeer(srvAddr, srvTr.BoundAddr().String())
+
+	// 3. Server: its own goroutine owns the Rpc endpoint.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		srv := erpc.NewRpc(nx, erpc.Config{Transport: srvTr, Clock: erpc.NewWallClock()})
+		srv.RunEventLoop(stop)
+	}()
+
+	// 4. Client: create a session and issue asynchronous RPCs.
+	cli := erpc.NewRpc(nx, erpc.Config{Transport: cliTr, Clock: erpc.NewWallClock()})
+	sess, err := cli.CreateSession(srvAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const n = 1000
+	done := 0
+	var firstLatency time.Duration
+	req := cli.Alloc(26)
+	resp := cli.Alloc(64)
+	copy(req.Data(), "abcdefghijklmnopqrstuvwxyz")
+	start := time.Now()
+	var issue func()
+	issue = func() {
+		t0 := time.Now()
+		cli.EnqueueRequest(sess, reqEcho, req, resp, func(err error) {
+			if err != nil {
+				log.Fatalf("rpc failed: %v", err)
+			}
+			if done == 0 {
+				firstLatency = time.Since(t0)
+				fmt.Printf("first echo: %q (%.1f µs)\n", resp.Data(), float64(firstLatency.Nanoseconds())/1000)
+			}
+			done++
+			if done < n {
+				issue()
+			}
+		})
+	}
+	issue()
+	for done < n {
+		if !cli.RunEventLoopOnce() {
+			cli.WaitForWork(200 * time.Microsecond)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d echo RPCs over UDP loopback in %v (%.0f req/s)\n",
+		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+}

@@ -1,0 +1,141 @@
+// Package carousel implements a timing-wheel packet pacer in the style
+// of Carousel (Saeed et al., SIGCOMM 2017), which eRPC uses as its
+// software rate limiter (paper §5.2). Packets are tagged with an
+// absolute transmission time and inserted into a circular array of
+// time slots; the dispatch thread polls the wheel each event-loop
+// iteration and transmits every packet whose slot has been reached.
+//
+// Carousel requires a bounded difference between the current time and
+// a packet's scheduled time (the wheel horizon); Insert clamps
+// out-of-horizon times, mirroring the original design.
+package carousel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Wheel is a timing wheel holding values of type T. It is owned by a
+// single dispatch thread and is not goroutine-safe.
+type Wheel[T any] struct {
+	slots    [][]item[T]
+	gran     sim.Time // slot width
+	horizon  sim.Time // gran * len(slots)
+	headIdx  int      // slot containing headTime
+	headTime sim.Time // start time of the head slot
+	size     int
+
+	// Inserted and Polled count total wheel operations for the CPU
+	// cost model and tests.
+	Inserted uint64
+	Polled   uint64
+}
+
+type item[T any] struct {
+	at sim.Time
+	v  T
+}
+
+// New returns a wheel with numSlots slots of width gran. The wheel can
+// schedule at most numSlots*gran into the future.
+func New[T any](numSlots int, gran sim.Time) *Wheel[T] {
+	if numSlots <= 0 || gran <= 0 {
+		panic(fmt.Sprintf("carousel: bad wheel shape %d x %v", numSlots, gran))
+	}
+	return &Wheel[T]{
+		slots:   make([][]item[T], numSlots),
+		gran:    gran,
+		horizon: gran * sim.Time(numSlots),
+	}
+}
+
+// Len reports the number of queued items.
+func (w *Wheel[T]) Len() int { return w.size }
+
+// Horizon reports the furthest future time the wheel can hold,
+// relative to its head.
+func (w *Wheel[T]) Horizon() sim.Time { return w.horizon }
+
+// Insert schedules v for transmission at absolute time at. Times in
+// the past are placed in the head slot; times beyond the horizon are
+// clamped to the last slot (Carousel's bounded-horizon rule).
+func (w *Wheel[T]) Insert(at sim.Time, v T) {
+	w.Inserted++
+	off := at - w.headTime
+	if off < 0 {
+		off = 0
+	}
+	if off >= w.horizon {
+		off = w.horizon - 1
+	}
+	idx := (w.headIdx + int(off/w.gran)) % len(w.slots)
+	w.slots[idx] = append(w.slots[idx], item[T]{at: at, v: v})
+	w.size++
+}
+
+// PollUntil advances the wheel head to now and calls fn for every item
+// whose slot start time is ≤ now, in slot order. It returns the number
+// of items delivered.
+func (w *Wheel[T]) PollUntil(now sim.Time, fn func(at sim.Time, v T)) int {
+	w.Polled++
+	delivered := 0
+	for w.headTime <= now {
+		slot := w.slots[w.headIdx]
+		if len(slot) > 0 {
+			w.slots[w.headIdx] = nil
+			for _, it := range slot {
+				fn(it.at, it.v)
+			}
+			delivered += len(slot)
+			w.size -= len(slot)
+		}
+		// Stop advancing once the head slot covers 'now': future
+		// inserts for the current instant must still land here.
+		if now < w.headTime+w.gran {
+			break
+		}
+		w.headIdx = (w.headIdx + 1) % len(w.slots)
+		w.headTime += w.gran
+	}
+	return delivered
+}
+
+// Drain removes and returns every queued item regardless of time, in
+// slot order. eRPC uses this when destroying a session after a node
+// failure (Appendix B: wait for the rate limiter to empty).
+func (w *Wheel[T]) Drain(fn func(at sim.Time, v T)) int {
+	n := 0
+	for i := 0; i < len(w.slots); i++ {
+		idx := (w.headIdx + i) % len(w.slots)
+		for _, it := range w.slots[idx] {
+			fn(it.at, it.v)
+			n++
+		}
+		w.slots[idx] = nil
+	}
+	w.size = 0
+	return n
+}
+
+// NextDeadline returns the earliest scheduled item time and true, or
+// zero and false if the wheel is empty. It scans slots from the head;
+// O(numSlots) worst case, used only for idle-timer programming.
+func (w *Wheel[T]) NextDeadline() (sim.Time, bool) {
+	if w.size == 0 {
+		return 0, false
+	}
+	for i := 0; i < len(w.slots); i++ {
+		idx := (w.headIdx + i) % len(w.slots)
+		if len(w.slots[idx]) > 0 {
+			min := w.slots[idx][0].at
+			for _, it := range w.slots[idx][1:] {
+				if it.at < min {
+					min = it.at
+				}
+			}
+			return min, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,188 @@
+package carousel
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestDeliversAtOrAfterScheduledSlot(t *testing.T) {
+	w := New[int](64, 100) // 64 slots x 100ns
+	w.Insert(250, 1)
+	w.Insert(50, 2)
+	w.Insert(620, 3)
+
+	var got []int
+	n := w.PollUntil(99, func(_ sim.Time, v int) { got = append(got, v) })
+	if n != 1 || got[0] != 2 {
+		t.Fatalf("at t=99: got %v", got)
+	}
+	got = nil
+	w.PollUntil(300, func(_ sim.Time, v int) { got = append(got, v) })
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("at t=300: got %v", got)
+	}
+	got = nil
+	w.PollUntil(1000, func(_ sim.Time, v int) { got = append(got, v) })
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("at t=1000: got %v", got)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("wheel should be empty, len=%d", w.Len())
+	}
+}
+
+func TestPastInsertGoesToHead(t *testing.T) {
+	w := New[int](8, 100)
+	w.PollUntil(500, func(sim.Time, int) {})
+	w.Insert(10, 42) // far in the past
+	var got []int
+	w.PollUntil(500, func(_ sim.Time, v int) { got = append(got, v) })
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("past insert not delivered immediately: %v", got)
+	}
+}
+
+func TestBeyondHorizonClamped(t *testing.T) {
+	w := New[int](8, 100) // horizon 800ns
+	w.Insert(1_000_000, 7)
+	var got []int
+	w.PollUntil(800, func(_ sim.Time, v int) { got = append(got, v) })
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("beyond-horizon item should clamp to last slot: %v", got)
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	w := New[int](4, 100) // horizon 400
+	for round := 0; round < 10; round++ {
+		base := sim.Time(round * 400)
+		w.Insert(base+150, round)
+		var got []int
+		w.PollUntil(base+400, func(_ sim.Time, v int) { got = append(got, v) })
+		if len(got) != 1 || got[0] != round {
+			t.Fatalf("round %d: got %v", round, got)
+		}
+	}
+}
+
+func TestDrain(t *testing.T) {
+	w := New[int](16, 100)
+	for i := 0; i < 10; i++ {
+		w.Insert(sim.Time(i*137), i)
+	}
+	var got []int
+	n := w.Drain(func(_ sim.Time, v int) { got = append(got, v) })
+	if n != 10 || w.Len() != 0 {
+		t.Fatalf("drain returned %d, len=%d", n, w.Len())
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("drain lost items: %v", got)
+		}
+	}
+}
+
+func TestNextDeadline(t *testing.T) {
+	w := New[int](32, 100)
+	if _, ok := w.NextDeadline(); ok {
+		t.Fatal("empty wheel should have no deadline")
+	}
+	w.Insert(900, 1)
+	w.Insert(300, 2)
+	if d, ok := w.NextDeadline(); !ok || d != 300 {
+		t.Fatalf("deadline = %v,%v want 300,true", d, ok)
+	}
+}
+
+func TestHeadDoesNotOverAdvance(t *testing.T) {
+	w := New[int](8, 100)
+	w.PollUntil(150, func(sim.Time, int) {})
+	// An insert for "now" must still be deliverable.
+	w.Insert(160, 5)
+	var got []int
+	w.PollUntil(160, func(_ sim.Time, v int) { got = append(got, v) })
+	if len(got) != 1 {
+		t.Fatalf("item for current slot lost: %v", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	w := New[int](8, 100)
+	w.Insert(1, 1)
+	w.Insert(2, 2)
+	w.PollUntil(1000, func(sim.Time, int) {})
+	if w.Inserted != 2 || w.Polled != 1 {
+		t.Fatalf("counters: inserted=%d polled=%d", w.Inserted, w.Polled)
+	}
+}
+
+// Property: every inserted item is delivered exactly once, and no item
+// is delivered before the start of its (clamped) slot.
+func TestNoLossNoEarlyProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		w := New[int](128, 64)
+		type rec struct {
+			at    sim.Time
+			count int
+		}
+		items := make([]rec, len(offsets))
+		for i, off := range offsets {
+			at := sim.Time(off)
+			items[i] = rec{at: at}
+			w.Insert(at, i)
+		}
+		// Poll in 200ns steps up to max time + horizon.
+		var mx sim.Time
+		for _, it := range items {
+			if it.at > mx {
+				mx = it.at
+			}
+		}
+		ok := true
+		for now := sim.Time(0); now <= mx+w.Horizon(); now += 200 {
+			w.PollUntil(now, func(_ sim.Time, v int) {
+				it := &items[v]
+				it.count++
+				// Items within the horizon (all inserted at t=0) may be
+				// delivered at most one slot early; items beyond the
+				// horizon are clamped by design and have no bound.
+				if it.at < w.Horizon() && it.at-now > 64 {
+					ok = false
+				}
+			})
+		}
+		for _, it := range items {
+			if it.count != 1 {
+				return false
+			}
+		}
+		return ok && w.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero slots should panic")
+		}
+	}()
+	New[int](0, 100)
+}
+
+func BenchmarkInsertPoll(b *testing.B) {
+	w := New[int](1024, 100)
+	b.ReportAllocs()
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		w.Insert(now+500, i)
+		now += 100
+		w.PollUntil(now, func(sim.Time, int) {})
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import "repro/internal/sim"
+
+// CostModel charges per-operation CPU time to simulated dispatch
+// threads. In real-transport mode the model is unused (costs are real);
+// in simulation it is what turns the discrete-event fabric into a
+// faithful reproduction of the paper's *CPU-bound* results.
+//
+// Derivation of the constants. The paper reports single-core request
+// rates on CX4 with B=3 (Table 3); each thread both issues and serves
+// requests, so thread throughput R implies a combined client+server
+// CPU cost of 1/R per RPC:
+//
+//	baseline (cc on, all optimizations)     4.96 M/s → 201.6 ns
+//	disable batched RTT timestamps          4.84 M/s → +5.0 ns
+//	disable Timely bypass                   4.52 M/s → +14.6 ns
+//	disable rate limiter bypass             4.30 M/s → +11.3 ns
+//	disable multi-packet RQ                 4.06 M/s → +13.7 ns
+//	disable preallocated responses          3.55 M/s → +35.4 ns
+//	disable zero-copy request processing    3.05 M/s → +46.2 ns
+//	disable congestion control entirely     5.44 M/s → −17.8 ns
+//
+// The absolute split between RX/TX/handler is calibrated so that the
+// client side is slightly more expensive than the server side (it runs
+// congestion control), matching eRPC's profile. MemcpyPerByte is set so
+// one core moves large messages at ≈75 Gbps with RX copies and
+// ≈92 Gbps without them (paper §6.4).
+type CostModel struct {
+	PktRx        sim.Time // per received packet
+	PktTx        sim.Time // per transmitted packet
+	Continuation sim.Time // invoking a client continuation
+	RespPrep     sim.Time // preparing a preallocated response
+	DefHandler   sim.Time // default request-handler execution time
+
+	// Congestion control costs (client side).
+	CCBasePerRPC   sim.Time // cc enabled, all common-case optimizations on
+	TSExtraPerRPC  sim.Time // batched timestamps disabled: per-packet rdtsc
+	TimelyNoBypass sim.Time // Timely bypass disabled: rate update per RTT sample
+	RLNoBypass     sim.Time // rate limiter bypass disabled: wheel op per TX
+	TimelyUpdate   sim.Time // a genuine (congested) Timely rate update
+	CarouselOp     sim.Time // a genuine wheel insert+pop for a paced packet
+
+	// Server-side optimization costs.
+	MultiRQOff  sim.Time // multi-packet RQ disabled: descriptor re-post per received packet
+	PreallocOff sim.Time // preallocated responses disabled: dynamic alloc per response
+	ZeroCopyOff sim.Time // zero-copy RX disabled: alloc+copy per single-packet request
+
+	// Data-path costs.
+	MemcpyPerByte float64  // ns per byte copied (RX copy of multi-packet messages)
+	DynAlloc      sim.Time // dynamic msgbuf allocation (multi-packet requests)
+	DMAFlush      sim.Time // TX DMA queue flush on retransmission (§4.2.2, ≈2 µs)
+
+	// Worker-thread handoff (§3.2: "up to 400 ns" round trip).
+	WorkerDispatch sim.Time // dispatch → worker
+	WorkerReturn   sim.Time // worker completion → dispatch
+}
+
+// DefaultCostModel returns the calibrated model described above.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PktRx:        42,
+		PktTx:        40,
+		Continuation: 8,
+		RespPrep:     4,
+		DefHandler:   8,
+
+		CCBasePerRPC:   18,
+		TSExtraPerRPC:  5,
+		TimelyNoBypass: 15,
+		RLNoBypass:     11,
+		TimelyUpdate:   20,
+		CarouselOp:     15,
+
+		MultiRQOff:  7,
+		PreallocOff: 35,
+		ZeroCopyOff: 46,
+
+		MemcpyPerByte: 0.10, // 10 GB/s effective copy bandwidth
+		DynAlloc:      35,
+		DMAFlush:      2000,
+
+		WorkerDispatch: 200,
+		WorkerReturn:   200,
+	}
+}
+
+// Opts toggles eRPC's common-case optimizations, mirroring Table 3.
+// All fields default to false (= optimization enabled).
+type Opts struct {
+	// DisableCC turns congestion control off entirely (§6.2's 5.44
+	// Mrps configuration; also Table 5's "no cc" rows).
+	DisableCC bool
+	// DisableBatchedTimestamps samples the clock per packet instead of
+	// per RX/TX batch (§5.2.2 optimization 3).
+	DisableBatchedTimestamps bool
+	// DisableTimelyBypass runs a Timely rate update on every RTT
+	// sample, even for uncongested sessions (§5.2.2 optimization 1).
+	DisableTimelyBypass bool
+	// DisableRateLimiterBypass routes every packet through the
+	// Carousel wheel, even at line rate (§5.2.2 optimization 2).
+	DisableRateLimiterBypass bool
+	// DisableMultiPacketRQ models per-packet RX descriptor re-posting
+	// (§4.1.1 / Appendix A).
+	DisableMultiPacketRQ bool
+	// DisablePreallocResponses dynamically allocates every response
+	// msgbuf (§4.3).
+	DisablePreallocResponses bool
+	// DisableZeroCopyRX copies every single-packet request into a
+	// dynamically allocated msgbuf before the handler runs (§4.2.3).
+	DisableZeroCopyRX bool
+}

@@ -1,0 +1,25 @@
+package core
+
+import "errors"
+
+// Errors surfaced through the public API and continuations.
+var (
+	// ErrRespTooBig means the response exceeded the capacity of the
+	// response msgbuf supplied to EnqueueRequest.
+	ErrRespTooBig = errors.New("erpc: response larger than response msgbuf")
+	// ErrPeerFailure means the remote node was declared failed while
+	// the request was outstanding; continuations receive it as the
+	// error code of paper Appendix B.
+	ErrPeerFailure = errors.New("erpc: remote node failed")
+	// ErrSessionClosed means the session was destroyed with requests
+	// outstanding.
+	ErrSessionClosed = errors.New("erpc: session closed")
+	// ErrTooManySessions means creating the session would exceed the
+	// endpoint's |RQ|/C session budget (§4.3.1).
+	ErrTooManySessions = errors.New("erpc: session limit reached (RQ size / credits)")
+	// ErrReqTooBig means the request exceeds the maximum message size.
+	ErrReqTooBig = errors.New("erpc: request larger than max message size")
+	// ErrNoHandler means the server has no handler registered for the
+	// request type.
+	ErrNoHandler = errors.New("erpc: no handler for request type")
+)

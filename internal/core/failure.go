@@ -1,0 +1,131 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// heartbeat runs the session-management liveness protocol (paper
+// Appendix B: a management plane detects remote node failure with
+// timeouts). Enabled by Config.HeartbeatInterval.
+func (r *Rpc) heartbeat() {
+	if r.cfg.HeartbeatInterval == 0 {
+		return
+	}
+	now := r.now()
+	if now-r.lastHB < r.cfg.HeartbeatInterval {
+		return
+	}
+	r.lastHB = now
+	pinged := map[uint16]bool{}
+	for _, s := range r.sessions {
+		if s.failed || pinged[s.remote.Node] {
+			continue
+		}
+		pinged[s.remote.Node] = true
+		if _, ok := r.lastHeard[s.remote.Node]; !ok {
+			r.lastHeard[s.remote.Node] = now // grace period for new peers
+		}
+		r.charge(r.cost.PktTx)
+		r.sendCtrl(s.remote, wire.Header{PktType: wire.PktPing})
+	}
+	for node := range pinged {
+		if now-r.lastHeard[node] > r.cfg.FailureTimeout {
+			r.FailPeer(node)
+		}
+	}
+}
+
+// FailPeer declares a remote node failed and tears down every session
+// to it, following Appendix B: flush the TX DMA queue to release
+// msgbuf references held by the NIC, drain the rate limiter, then
+// invoke continuations for pending requests with an error code.
+func (r *Rpc) FailPeer(node uint16) {
+	r.apiEnter()
+	defer r.apiExit()
+	r.Stats.PeerFailures++
+	// Flush the TX DMA queue once for the failure event.
+	r.charge(r.cost.DMAFlush)
+	r.Stats.DMAFlushes++
+	r.drainWheelFor(func(e wheelEntry) bool { return e.sess.remote.Node == node })
+
+	for _, s := range r.sessions {
+		if s.failed || s.remote.Node != node {
+			continue
+		}
+		r.teardownSession(s, ErrPeerFailure)
+	}
+	for key, s := range r.srvSessions {
+		if key.addr.Node != node {
+			continue
+		}
+		for i := range s.srvSlots {
+			r.resetSrvSlot(&s.srvSlots[i])
+		}
+		delete(r.srvSessions, key)
+	}
+}
+
+// DestroySession closes a client session; outstanding and queued
+// requests complete with ErrSessionClosed.
+func (r *Rpc) DestroySession(s *Session) {
+	if !s.isClient {
+		panic("erpc: DestroySession on a server-mode session")
+	}
+	if s.failed {
+		return
+	}
+	r.apiEnter()
+	defer r.apiExit()
+	r.charge(r.cost.DMAFlush)
+	r.Stats.DMAFlushes++
+	r.drainWheelFor(func(e wheelEntry) bool { return e.sess == s })
+	r.teardownSession(s, ErrSessionClosed)
+}
+
+// teardownSession fails every outstanding and queued request on s.
+func (r *Rpc) teardownSession(s *Session, err error) {
+	s.failed = true
+	for i := range s.slots {
+		ss := &s.slots[i]
+		if !ss.busy {
+			continue
+		}
+		cont := ss.cont
+		ss.reset()
+		r.complete(cont, err)
+	}
+	for _, p := range s.backlog {
+		r.complete(p.cont, err)
+	}
+	s.backlog = nil
+	s.credits = r.cfg.Credits
+}
+
+// drainWheelFor removes matching rate-limiter entries, releasing their
+// msgbuf references; non-matching entries are reinserted at their
+// original deadlines (Appendix B/C: the rate limiter must hold no
+// reference to a failed session's msgbufs).
+func (r *Rpc) drainWheelFor(match func(wheelEntry) bool) {
+	if r.wheel.Len() == 0 {
+		return
+	}
+	type saved struct {
+		at sim.Time
+		e  wheelEntry
+	}
+	var keep []saved
+	r.wheel.Drain(func(at sim.Time, e wheelEntry) {
+		if match(e) {
+			e.sess.cc.inWheel--
+			if e.buf != nil {
+				e.buf.ReleaseTX()
+			}
+			return
+		}
+		keep = append(keep, saved{at, e})
+	})
+	for _, k := range keep {
+		r.wheel.Insert(k.at, k.e)
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// A Handler services one request type. Mirroring the paper's API
+// (§3.1-3.2), the only extra input eRPC requires from the programmer
+// is whether the handler runs in the dispatch thread or in a worker
+// thread.
+type Handler struct {
+	// Fn is invoked with a request context. It may enqueue the
+	// response before returning, or return without responding and
+	// enqueue it later (nested RPCs, §3.1).
+	Fn func(ctx *ReqContext)
+	// RunInWorker routes the handler to a worker thread. Dispatch
+	// handlers must take at most a few hundred nanoseconds (§3.2).
+	RunInWorker bool
+	// Cost is the handler's simulated execution time in sim mode
+	// (charged to the dispatch thread, or to a worker thread when
+	// RunInWorker is set). Zero means CostModel.DefHandler.
+	Cost sim.Time
+}
+
+// Nexus is the per-process registry shared by all Rpc endpoints of a
+// process: it maps request types to handlers. It corresponds to
+// eRPC's Nexus object.
+//
+// Register all handlers before creating Rpc endpoints; the handler
+// table is read-only afterwards (eRPC has the same rule).
+type Nexus struct {
+	handlers [256]*Handler
+	sealed   bool
+}
+
+// NewNexus returns an empty handler registry.
+func NewNexus() *Nexus { return &Nexus{} }
+
+// Register installs h for reqType. It panics if reqType is already
+// registered or endpoints were already created.
+func (n *Nexus) Register(reqType uint8, h Handler) {
+	if n.sealed {
+		panic("erpc: Register after Rpc creation")
+	}
+	if h.Fn == nil {
+		panic("erpc: Register with nil handler fn")
+	}
+	if n.handlers[reqType] != nil {
+		panic(fmt.Sprintf("erpc: request type %d already registered", reqType))
+	}
+	hc := h
+	n.handlers[reqType] = &hc
+}
+
+func (n *Nexus) handler(reqType uint8) *Handler {
+	n.sealed = true
+	return n.handlers[reqType]
+}

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// processPkt handles one received frame. It is the top of eRPC's RX
+// path: decode the header into a preallocated struct (the gopacket
+// DecodingLayer idiom — no allocation), then demultiplex to the client
+// or server half of the protocol.
+func (r *Rpc) processPkt(frame []byte, from transport.Addr) {
+	r.Stats.PktsRx++
+	r.Stats.BytesRx += uint64(len(frame))
+	r.charge(r.cost.PktRx)
+	if r.opts.DisableMultiPacketRQ {
+		r.charge(r.cost.MultiRQOff)
+	}
+	h := &r.decoded
+	if err := h.Decode(frame); err != nil {
+		r.Stats.StalePktsRx++
+		return
+	}
+	if r.cfg.HeartbeatInterval > 0 {
+		r.lastHeard[from.Node] = r.now()
+	}
+	payload := frame[wire.HeaderSize:]
+	switch h.PktType {
+	case wire.PktCR:
+		r.onCR(h)
+	case wire.PktResp:
+		r.onResp(h, payload)
+	case wire.PktReq:
+		r.onReqPkt(h, from, payload)
+	case wire.PktRFR:
+		r.onRFR(h, from)
+	case wire.PktPing:
+		r.sendCtrl(from, wire.Header{PktType: wire.PktPong})
+	case wire.PktPong:
+		// lastHeard already updated.
+	}
+}
+
+// clientSlot validates a server→client packet and returns its session
+// and slot, or nil if the packet is stale.
+func (r *Rpc) clientSlot(h *wire.Header) (*Session, *sslot, int) {
+	if int(h.DstSession) >= len(r.sessions) {
+		r.Stats.StalePktsRx++
+		return nil, nil, 0
+	}
+	s := r.sessions[h.DstSession]
+	if s.failed {
+		r.Stats.StalePktsRx++
+		return nil, nil, 0
+	}
+	idx := int(h.ReqNum % uint64(r.cfg.NumSlots))
+	ss := &s.slots[idx]
+	if !ss.busy || ss.reqNum != h.ReqNum {
+		r.Stats.StalePktsRx++
+		return nil, nil, 0
+	}
+	return s, ss, idx
+}
+
+// onCR handles an explicit credit return for request packet h.PktNum
+// (paper §5.1).
+func (r *Rpc) onCR(h *wire.Header) {
+	s, ss, idx := r.clientSlot(h)
+	if s == nil {
+		return
+	}
+	n := int(h.PktNum)
+	if n != ss.reqAcked || n >= ss.numReqPkts-1 {
+		// Out-of-order or duplicate CR (e.g. after a rollback): drop,
+		// like any reordered packet (§5.3).
+		r.Stats.StalePktsRx++
+		return
+	}
+	ss.reqAcked++
+	if ss.inFlight > 0 {
+		ss.inFlight--
+		s.credits++
+	}
+	ss.lastProgress = r.now()
+	r.rttSample(s, ss.reqTxTimes[n])
+	r.trySendSlot(s, idx)
+	r.kickSession(s)
+}
+
+// onResp handles a response data packet.
+func (r *Rpc) onResp(h *wire.Header, payload []byte) {
+	s, ss, idx := r.clientSlot(h)
+	if s == nil {
+		return
+	}
+	// Zero-copy ownership rule (Appendix C): if a retransmitted copy
+	// of the request still sits in the rate limiter, drop the response
+	// rather than yield msgbuf ownership with queued references.
+	if ss.req.TXRefs() > 0 {
+		r.Stats.RespDropWheel++
+		return
+	}
+	k := int(h.PktNum)
+	if k != ss.respRcvd {
+		r.Stats.StalePktsRx++ // reordered/duplicate response packet
+		return
+	}
+	if k == 0 {
+		// First response packet: reveals the response size and
+		// implicitly returns the credits of all unacked request
+		// packets (§5.1).
+		ss.respNumPkts = wire.NumPkts(h.MsgSize, r.dataPerPkt)
+		ss.rfrSent = 1
+		delta := ss.numReqPkts - ss.reqAcked
+		if delta > ss.inFlight {
+			delta = ss.inFlight
+		}
+		ss.inFlight -= delta
+		s.credits += delta
+		ss.reqAcked = ss.numReqPkts
+		r.rttSample(s, ss.reqTxTimes[ss.numReqPkts-1])
+		if int(h.MsgSize) > ss.resp.MaxData() {
+			r.failSlot(s, idx, ErrRespTooBig)
+			return
+		}
+		ss.resp.Resize(int(h.MsgSize))
+		ss.respTxTimes = growTimes(ss.respTxTimes, ss.respNumPkts)
+	} else {
+		if ss.inFlight > 0 {
+			ss.inFlight--
+			s.credits++
+		}
+		r.rttSample(s, ss.respTxTimes[k])
+	}
+	ss.lastProgress = r.now()
+	// Copy the packet's data into the response msgbuf (§3.1: "the
+	// event loop copies it to the client's response msgbuf").
+	off := k * r.dataPerPkt
+	n := copy(ss.resp.Data()[off:], payload)
+	r.chargeBytes(n)
+	ss.respRcvd++
+
+	if ss.respRcvd == ss.respNumPkts {
+		r.completeSlot(s, idx)
+		return
+	}
+	r.trySendSlot(s, idx)
+	r.kickSession(s)
+}
+
+// completeSlot finishes a successful RPC: invoke the continuation and
+// recycle the slot.
+func (r *Rpc) completeSlot(s *Session, idx int) {
+	ss := &s.slots[idx]
+	cont := ss.cont
+	ss.reset()
+	if !r.opts.DisableCC {
+		r.charge(r.cost.CCBasePerRPC)
+	}
+	r.complete(cont, nil)
+	r.popBacklog(s, idx)
+	r.kickSession(s)
+}
+
+// failSlot finishes an RPC with an error.
+func (r *Rpc) failSlot(s *Session, idx int, err error) {
+	ss := &s.slots[idx]
+	cont := ss.cont
+	s.credits += ss.inFlight
+	ss.reset()
+	r.complete(cont, err)
+	r.popBacklog(s, idx)
+}
+
+// popBacklog starts a queued request on a freed slot (§4.3:
+// "additional requests are transparently queued").
+func (r *Rpc) popBacklog(s *Session, idx int) {
+	if len(s.backlog) == 0 || s.slots[idx].busy {
+		return
+	}
+	p := s.backlog[0]
+	s.backlog = s.backlog[:copy(s.backlog, s.backlog[1:])]
+	r.startRequest(s, idx, p.reqType, p.req, p.resp, p.cont)
+	r.trySendSlot(s, idx)
+}
+
+// rttSample processes one RTT measurement at the client (§5.2.2).
+func (r *Rpc) rttSample(s *Session, txTime sim.Time) {
+	if txTime == 0 {
+		return
+	}
+	rtt := r.now() - txTime
+	if rtt < 0 {
+		return
+	}
+	if r.RTTHook != nil {
+		r.RTTHook(rtt)
+	}
+	if r.opts.DisableCC || s.cc.timely == nil {
+		return
+	}
+	if r.opts.DisableBatchedTimestamps {
+		r.charge(r.cost.TSExtraPerRPC)
+	}
+	tl := s.cc.timely
+	if r.opts.DisableTimelyBypass {
+		r.charge(r.cost.TimelyNoBypass)
+		tl.Update(rtt)
+		return
+	}
+	// Timely bypass: skip the rate update for uncongested sessions
+	// with RTTs under the low threshold.
+	if tl.Uncongested() && rtt < tl.TLow() {
+		return
+	}
+	r.charge(r.cost.TimelyUpdate)
+	tl.Update(rtt)
+}
+
+// kickSession gives freed credits to other slots of the session.
+func (r *Rpc) kickSession(s *Session) {
+	if s.credits <= 0 {
+		return
+	}
+	for i := range s.slots {
+		if s.credits <= 0 {
+			return
+		}
+		if s.slots[i].busy {
+			r.trySendSlot(s, i)
+		}
+	}
+}
+
+// trySendSlot transmits as many packets as the slot needs and the
+// session's credits allow.
+func (r *Rpc) trySendSlot(s *Session, idx int) {
+	ss := &s.slots[idx]
+	if !ss.busy || s.failed {
+		return
+	}
+	for ss.reqSent < ss.numReqPkts && s.credits > 0 {
+		r.ccSend(s, idx, kindReqData, ss.reqSent)
+		ss.reqSent++
+		s.credits--
+		ss.inFlight++
+		ss.lastProgress = r.now()
+	}
+	if ss.respNumPkts > 1 {
+		for ss.rfrSent < ss.respNumPkts && s.credits > 0 {
+			r.ccSend(s, idx, kindRFR, ss.rfrSent)
+			ss.rfrSent++
+			s.credits--
+			ss.inFlight++
+			ss.lastProgress = r.now()
+		}
+	}
+}
+
+// ccSend routes one client→server packet through congestion control:
+// direct transmission in the common (uncongested) case, or the
+// Carousel wheel when paced (§5.2.2 optimization 2).
+func (r *Rpc) ccSend(s *Session, idx int, kind wireKind, pktNum int) {
+	if r.opts.DisableCC || s.cc.timely == nil {
+		r.txClientPkt(s, idx, kind, pktNum)
+		return
+	}
+	tl := s.cc.timely
+	if !r.opts.DisableRateLimiterBypass && tl.Uncongested() && s.cc.inWheel == 0 {
+		r.txClientPkt(s, idx, kind, pktNum)
+		return
+	}
+	// Paced path: schedule on the wheel at the session's next credit
+	// of rate. Both data packets and RFRs are paced at MTU
+	// granularity — an RFR releases one MTU-sized response packet
+	// from the server, so pacing RFRs paces the reverse flow.
+	now := r.now()
+	t := s.cc.nextTx
+	if t < now {
+		t = now
+	}
+	interval := sim.Time(float64(r.tr.MTU()) * 1e9 / tl.Rate())
+	s.cc.nextTx = t + interval
+	r.charge(r.cost.CarouselOp)
+	ss := &s.slots[idx]
+	e := wheelEntry{sess: s, slotIdx: idx, reqNum: ss.reqNum, kind: kind, pktNum: pktNum}
+	if kind == kindReqData {
+		ss.req.RetainTX()
+		e.buf = ss.req
+	}
+	r.wheel.Insert(t, e)
+	s.cc.inWheel++
+}
+
+// pollWheel transmits rate-limited packets that are due.
+func (r *Rpc) pollWheel() {
+	if r.wheel.Len() == 0 {
+		return
+	}
+	r.wheel.PollUntil(r.now(), func(_ sim.Time, e wheelEntry) {
+		e.sess.cc.inWheel--
+		if e.buf != nil {
+			e.buf.ReleaseTX()
+		}
+		ss := &e.sess.slots[e.slotIdx]
+		if e.sess.failed || !ss.busy || ss.reqNum != e.reqNum {
+			return // orphaned entry: slot finished or session failed
+		}
+		r.txClientPkt(e.sess, e.slotIdx, e.kind, e.pktNum)
+	})
+}
+
+// txClientPkt transmits one client→server packet immediately and
+// records its timestamp for RTT measurement.
+func (r *Rpc) txClientPkt(s *Session, idx int, kind wireKind, pktNum int) {
+	ss := &s.slots[idx]
+	ts := r.batchTS
+	if r.opts.DisableBatchedTimestamps {
+		ts = r.now()
+	}
+	switch kind {
+	case kindReqData:
+		if pktNum < len(ss.reqTxTimes) {
+			ss.reqTxTimes[pktNum] = ts
+		}
+		h := wire.Header{
+			PktType:    wire.PktReq,
+			ReqType:    ss.reqType,
+			MsgSize:    uint32(ss.req.MsgSize()),
+			DstSession: s.num,
+			PktNum:     uint16(pktNum),
+			ReqNum:     ss.reqNum,
+		}
+		if err := h.Encode(ss.req.PktHeader(pktNum)); err != nil {
+			panic("erpc: header encode: " + err.Error())
+		}
+		frame := ss.req.Frame(pktNum, r.scratch)
+		r.charge(r.cost.PktTx)
+		r.rawSend(s.remote, frame)
+	case kindRFR:
+		if pktNum < len(ss.respTxTimes) {
+			ss.respTxTimes[pktNum] = ts
+		}
+		r.charge(r.cost.PktTx)
+		r.sendCtrl(s.remote, wire.Header{
+			PktType:    wire.PktRFR,
+			ReqType:    ss.reqType,
+			MsgSize:    uint32(ss.req.MsgSize()),
+			DstSession: s.num,
+			PktNum:     uint16(pktNum),
+			ReqNum:     ss.reqNum,
+		})
+	}
+}
+
+// sendCtrl transmits a header-only packet (CR, RFR, ping, pong —
+// the paper's "tiny 16 B packets").
+func (r *Rpc) sendCtrl(dst transport.Addr, h wire.Header) {
+	var buf [wire.HeaderSize]byte
+	if err := h.Encode(buf[:]); err != nil {
+		panic("erpc: header encode: " + err.Error())
+	}
+	r.rawSend(dst, buf[:])
+}
+
+// rawSend hands a frame to the transport. In simulation mode the send
+// fires at the CPU cursor (the moment the doorbell rings after the
+// charged work), using a copy of the frame so later msgbuf reuse
+// cannot corrupt it.
+func (r *Rpc) rawSend(dst transport.Addr, frame []byte) {
+	r.Stats.PktsTx++
+	r.Stats.BytesTx += uint64(len(frame))
+	if r.sched == nil {
+		r.tr.Send(dst, frame)
+		return
+	}
+	buf := r.getSendBuf(len(frame))
+	copy(buf, frame)
+	// The packet leaves when the CPU reaches this point in its work
+	// (cursor) plus the non-CPU send pipeline (doorbell, DMA fetch).
+	r.sched.At(r.cursor+r.cfg.TxPipeline, func() {
+		r.tr.Send(dst, buf)
+		r.putSendBuf(buf)
+	})
+}
+
+func (r *Rpc) getSendBuf(n int) []byte {
+	if len(r.sendPool) > 0 {
+		b := r.sendPool[len(r.sendPool)-1]
+		r.sendPool = r.sendPool[:len(r.sendPool)-1]
+		return b[:n]
+	}
+	return make([]byte, n, r.tr.MTU())
+}
+
+func (r *Rpc) putSendBuf(b []byte) {
+	if len(r.sendPool) < 1024 {
+		r.sendPool = append(r.sendPool, b[:0])
+	}
+}
+
+// rtoScan checks outstanding requests for retransmission timeouts and
+// performs go-back-N rollback (§5.3).
+func (r *Rpc) rtoScan() {
+	now := r.now()
+	for _, s := range r.sessions {
+		if s.failed {
+			continue
+		}
+		for i := range s.slots {
+			ss := &s.slots[i]
+			if ss.busy && ss.inFlight > 0 && now-ss.lastProgress > r.cfg.RTO {
+				r.rollback(s, i)
+			}
+		}
+	}
+}
+
+// rollback reclaims credits, flushes the TX DMA queue (§4.2.2) and
+// retransmits from the last acknowledged packet.
+func (r *Rpc) rollback(s *Session, idx int) {
+	ss := &s.slots[idx]
+	r.Stats.Retransmits++
+	r.Stats.DMAFlushes++
+	ss.retransmits++
+	// Flush the TX DMA queue so no stale reference to the request
+	// msgbuf remains (the ≈2 µs flush that buys unsignaled
+	// transmission its 25% speedup the rest of the time).
+	r.charge(r.cost.DMAFlush)
+	s.credits += ss.inFlight
+	ss.inFlight = 0
+	if ss.respNumPkts > 0 && ss.respRcvd >= 1 {
+		// Response phase: re-request from the first missing packet.
+		ss.rfrSent = ss.respRcvd
+	} else {
+		// Request phase: go back to the last acknowledged packet.
+		ss.reqSent = ss.reqAcked
+	}
+	ss.lastProgress = r.now()
+	r.trySendSlot(s, idx)
+}

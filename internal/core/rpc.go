@@ -1,0 +1,601 @@
+// Package core implements eRPC: a general-purpose RPC library for
+// datacenter networks (Kalia et al., NSDI 2019). It provides
+// asynchronous request/response RPCs with at-most-once semantics on
+// top of unreliable datagram transports, using the paper's
+// client-driven wire protocol, session credits for BDP flow control,
+// go-back-N loss recovery, Timely congestion control with a Carousel
+// rate limiter, and the common-case optimizations of §5.2.2.
+//
+// An Rpc endpoint is owned by exactly one dispatch context: a
+// goroutine in real-transport mode, or the discrete-event scheduler in
+// simulation mode. In simulation mode every operation charges CPU time
+// from a calibrated CostModel, reproducing the paper's CPU-bound
+// behavior (see costmodel.go).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/carousel"
+	"repro/internal/msgbuf"
+	"repro/internal/sim"
+	"repro/internal/timely"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Defaults mirroring the paper.
+const (
+	DefaultCredits  = 32                  // session credit limit C (§4.3.1; §6.4 uses 32)
+	DefaultNumSlots = 8                   // concurrent requests per session (§4.3)
+	DefaultRTO      = 5 * sim.Millisecond // retransmission timeout (§5.2.3)
+	DefaultRQSize   = 8192                // receive queue size |RQ| for the session budget
+	DefaultMaxMsg   = 8 << 20             // largest message size supported (§6.4)
+
+	rtoScanInterval = 100 * sim.Microsecond
+	wheelSlots      = 4096
+	wheelGran       = 200 * sim.Nanosecond
+)
+
+// Config configures an Rpc endpoint.
+type Config struct {
+	// Transport provides unreliable packet I/O. Required.
+	Transport transport.Transport
+	// Clock supplies timestamps. Required (use sim scheduler or
+	// sim.NewWallClock).
+	Clock sim.Clock
+	// Sched, when non-nil, puts the endpoint in simulation mode: the
+	// event loop is driven by scheduler events and operations charge
+	// CostModel time.
+	Sched *sim.Scheduler
+	// Cost is the CPU cost model; zero value means DefaultCostModel.
+	Cost CostModel
+	// CPUScale multiplies all cost charges (cluster CPU speed); 0
+	// means 1.0.
+	CPUScale float64
+	// Credits is the per-session credit limit C; 0 means
+	// DefaultCredits.
+	Credits int
+	// NumSlots is the number of concurrent requests per session; 0
+	// means DefaultNumSlots.
+	NumSlots int
+	// RTO is the retransmission timeout; 0 means DefaultRTO.
+	RTO sim.Time
+	// RQSize is the receive queue size used for the session budget
+	// |RQ|/C; 0 means DefaultRQSize.
+	RQSize int
+	// MaxMsgSize bounds request and response sizes; 0 means 8 MB.
+	MaxMsgSize int
+	// LinkRateGbps is the host link rate, used by Timely; 0 means 25.
+	LinkRateGbps float64
+	// TxPipeline is a per-packet send latency that does not occupy
+	// the CPU (doorbell MMIO + DMA fetch). Simulation mode only; use
+	// the cluster profile's SWPipeline value.
+	TxPipeline sim.Time
+	// TimelyParams overrides Timely parameters; LinkRate is filled
+	// from LinkRateGbps if zero.
+	TimelyParams timely.Params
+	// Opts toggles the common-case optimizations (Table 3).
+	Opts Opts
+	// HeartbeatInterval enables session-management heartbeats for
+	// node failure detection when non-zero (Appendix B).
+	HeartbeatInterval sim.Time
+	// FailureTimeout declares a peer node failed after this much
+	// silence; 0 means 5 × HeartbeatInterval.
+	FailureTimeout sim.Time
+}
+
+func (c *Config) setDefaults() {
+	if c.Transport == nil {
+		panic("erpc: Config.Transport is required")
+	}
+	if c.Clock == nil {
+		panic("erpc: Config.Clock is required")
+	}
+	if c.Cost == (CostModel{}) {
+		c.Cost = DefaultCostModel()
+	}
+	if c.CPUScale == 0 {
+		c.CPUScale = 1.0
+	}
+	if c.Credits == 0 {
+		c.Credits = DefaultCredits
+	}
+	if c.NumSlots == 0 {
+		c.NumSlots = DefaultNumSlots
+	}
+	if c.RTO == 0 {
+		c.RTO = DefaultRTO
+	}
+	if c.RQSize == 0 {
+		c.RQSize = DefaultRQSize
+	}
+	if c.MaxMsgSize == 0 {
+		c.MaxMsgSize = DefaultMaxMsg
+	}
+	if c.LinkRateGbps == 0 {
+		c.LinkRateGbps = 25
+	}
+	if c.TimelyParams.LinkRate == 0 {
+		c.TimelyParams.LinkRate = c.LinkRateGbps * 1e9 / 8
+	}
+	if c.HeartbeatInterval != 0 && c.FailureTimeout == 0 {
+		c.FailureTimeout = 5 * c.HeartbeatInterval
+	}
+}
+
+// Stats counts endpoint events.
+type Stats struct {
+	ReqsEnqueued  uint64
+	ReqsCompleted uint64
+	ReqsFailed    uint64
+	PktsTx        uint64
+	PktsRx        uint64
+	BytesTx       uint64
+	BytesRx       uint64
+	Retransmits   uint64 // go-back-N rollbacks
+	DMAFlushes    uint64
+	StalePktsRx   uint64 // dropped: stale/duplicate/out-of-order
+	RespDropWheel uint64 // responses dropped because a retransmitted
+	// request copy was still queued in the rate limiter (Appendix C)
+	HandlersRun    uint64
+	WorkerHandlers uint64
+	PeerFailures   uint64
+}
+
+// Rpc is an eRPC endpoint: one per dispatch thread (paper §3.1). All
+// methods must be called from the owning dispatch context.
+type Rpc struct {
+	nexus *Nexus
+	tr    transport.Transport
+	clock sim.Clock
+	sched *sim.Scheduler // nil in real-transport mode
+	cfg   Config
+	cost  CostModel
+	scale float64
+	opts  Opts
+
+	dataPerPkt int
+	alloc      *msgbuf.Allocator
+
+	sessions    []*Session // client-mode sessions, by local number
+	srvSessions map[sessKey]*Session
+
+	wheel *carousel.Wheel[wheelEntry]
+
+	// Simulated CPU state.
+	cursor       sim.Time
+	busyUntil    sim.Time
+	runScheduled bool
+	wakeAt       sim.Time
+	wakeEv       sim.EventID
+	wakeArmed    bool
+
+	batchTS     sim.Time
+	lastRTOScan sim.Time
+
+	workerDone []*ReqContext // sim mode: completed worker handlers
+	workerCh   chan *ReqContext
+	wakeCh     chan struct{}
+
+	lastHeard map[uint16]sim.Time // per-node liveness (Appendix B)
+	lastHB    sim.Time
+
+	scratch  []byte   // frame assembly buffer for non-first packets
+	sendPool [][]byte // recycled frame copies for simulated sends
+
+	decoded wire.Header // preallocated decode target (DecodingLayer idiom)
+
+	// Stats is exported for experiment harnesses.
+	Stats Stats
+
+	// RTTHook, if set, receives every RTT sample measured at this
+	// client (used by the incast experiments, Table 5).
+	RTTHook func(sim.Time)
+}
+
+// NewRpc creates an endpoint. The Nexus's handlers become this
+// endpoint's request handlers.
+func NewRpc(nexus *Nexus, cfg Config) *Rpc {
+	cfg.setDefaults()
+	dataPerPkt := cfg.Transport.MTU() - wire.HeaderSize
+	if dataPerPkt <= 0 {
+		panic("erpc: transport MTU too small for header")
+	}
+	r := &Rpc{
+		nexus:       nexus,
+		tr:          cfg.Transport,
+		clock:       cfg.Clock,
+		sched:       cfg.Sched,
+		cfg:         cfg,
+		cost:        cfg.Cost,
+		scale:       cfg.CPUScale,
+		opts:        cfg.Opts,
+		dataPerPkt:  dataPerPkt,
+		alloc:       msgbuf.NewAllocator(dataPerPkt),
+		srvSessions: map[sessKey]*Session{},
+		wheel:       carousel.New[wheelEntry](wheelSlots, wheelGran),
+		workerCh:    make(chan *ReqContext, 1024),
+		wakeCh:      make(chan struct{}, 1),
+		lastHeard:   map[uint16]sim.Time{},
+		scratch:     make([]byte, cfg.Transport.MTU()),
+	}
+	cfg.Transport.SetWake(r.onTransportWake)
+	return r
+}
+
+// Alloc returns a message buffer sized for size data bytes, drawn from
+// the endpoint's pooled allocator (the paper's per-thread hugepage
+// allocator).
+func (r *Rpc) Alloc(size int) *msgbuf.Buf { return r.alloc.Alloc(size) }
+
+// Free returns a buffer obtained from Alloc.
+func (r *Rpc) Free(b *msgbuf.Buf) { r.alloc.Free(b) }
+
+// DataPerPkt reports the data bytes carried per packet.
+func (r *Rpc) DataPerPkt() int { return r.dataPerPkt }
+
+// LocalAddr returns the endpoint's transport address.
+func (r *Rpc) LocalAddr() transport.Addr { return r.tr.LocalAddr() }
+
+// now returns the current time: the CPU cursor in simulation mode
+// (time advances as work is charged), or the wall clock.
+func (r *Rpc) now() sim.Time {
+	if r.sched != nil {
+		return r.cursor
+	}
+	return r.clock.Now()
+}
+
+// apiEnter synchronizes the simulated CPU cursor when a public API
+// method is invoked from outside the event loop (e.g. application code
+// scheduled directly on the simulator). Safe to call re-entrantly from
+// continuations: the cursor never moves backwards.
+func (r *Rpc) apiEnter() {
+	if r.sched == nil {
+		return
+	}
+	if r.busyUntil > r.cursor {
+		r.cursor = r.busyUntil
+	}
+	if n := r.sched.Now(); n > r.cursor {
+		r.cursor = n
+	}
+}
+
+// apiExit commits charged time after a public API call and arms the
+// timer wake-ups the call may need (rate limiter, RTO).
+func (r *Rpc) apiExit() {
+	if r.sched == nil {
+		return
+	}
+	if r.cursor > r.busyUntil {
+		r.busyUntil = r.cursor
+	}
+	r.armWake()
+}
+
+// charge advances the simulated CPU by d (scaled); no-op in real mode.
+func (r *Rpc) charge(d sim.Time) {
+	if r.sched != nil && d > 0 {
+		r.cursor += sim.Time(float64(d) * r.scale)
+	}
+}
+
+// chargeBytes charges a per-byte memcpy cost.
+func (r *Rpc) chargeBytes(n int) {
+	if r.sched != nil && n > 0 {
+		r.cursor += sim.Time(float64(n) * r.cost.MemcpyPerByte * r.scale)
+	}
+}
+
+// CreateSession opens a client-mode session to the remote endpoint.
+// It fails when the session budget |RQ|/C is exhausted (§4.3.1).
+func (r *Rpc) CreateSession(remote transport.Addr) (*Session, error) {
+	if (len(r.sessions)+len(r.srvSessions)+1)*r.cfg.Credits > r.cfg.RQSize {
+		return nil, ErrTooManySessions
+	}
+	if len(r.sessions) >= 1<<16 {
+		return nil, ErrTooManySessions
+	}
+	s := &Session{
+		rpc:      r,
+		num:      uint16(len(r.sessions)),
+		remote:   remote,
+		isClient: true,
+		credits:  r.cfg.Credits,
+		slots:    make([]sslot, r.cfg.NumSlots),
+	}
+	for i := range s.slots {
+		// Request numbers advance by NumSlots per reuse so the server
+		// can derive the slot index as reqNum % NumSlots; starting at
+		// idx+NumSlots keeps reqNum 0 meaning "none".
+		s.slots[i].reqNum = uint64(i)
+	}
+	if !r.opts.DisableCC {
+		s.cc.timely = timely.New(r.cfg.TimelyParams)
+	}
+	r.sessions = append(r.sessions, s)
+	return s, nil
+}
+
+// NumSessions reports client-mode plus server-mode sessions.
+func (r *Rpc) NumSessions() int { return len(r.sessions) + len(r.srvSessions) }
+
+// EnqueueRequest starts an RPC on session s (paper §3.1). req holds
+// the request message; resp must have capacity for the response. cont
+// runs on the dispatch context when the response is complete (or the
+// request fails); after cont runs, ownership of req and resp returns
+// to the caller.
+func (r *Rpc) EnqueueRequest(s *Session, reqType uint8, req, resp *msgbuf.Buf, cont func(error)) {
+	if !s.isClient {
+		panic("erpc: EnqueueRequest on a server-mode session")
+	}
+	r.apiEnter()
+	defer r.apiExit()
+	if req.MsgSize() > r.cfg.MaxMsgSize {
+		r.complete(cont, ErrReqTooBig)
+		return
+	}
+	if s.failed {
+		r.complete(cont, ErrSessionClosed)
+		return
+	}
+	r.Stats.ReqsEnqueued++
+	idx := r.freeSlot(s)
+	if idx < 0 {
+		// All slots busy: queue transparently (§4.3).
+		s.backlog = append(s.backlog, pendingReq{reqType: reqType, req: req, resp: resp, cont: cont})
+		return
+	}
+	r.startRequest(s, idx, reqType, req, resp, cont)
+}
+
+func (r *Rpc) freeSlot(s *Session) int {
+	for i := range s.slots {
+		if !s.slots[i].busy {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *Rpc) startRequest(s *Session, idx int, reqType uint8, req, resp *msgbuf.Buf, cont func(error)) {
+	ss := &s.slots[idx]
+	ss.reqNum += uint64(r.cfg.NumSlots)
+	ss.busy = true
+	ss.reqType = reqType
+	ss.req = req
+	ss.resp = resp
+	ss.cont = cont
+	ss.numReqPkts = wire.NumPkts(uint32(req.MsgSize()), r.dataPerPkt)
+	ss.reqSent = 0
+	ss.reqAcked = 0
+	ss.respNumPkts = 0
+	ss.respRcvd = 0
+	ss.rfrSent = 0
+	ss.inFlight = 0
+	ss.reqTxTimes = growTimes(ss.reqTxTimes, ss.numReqPkts)
+	ss.respTxTimes = ss.respTxTimes[:0]
+	ss.retransmits = 0
+	ss.lastProgress = r.now()
+	r.trySendSlot(s, idx)
+}
+
+func growTimes(ts []sim.Time, n int) []sim.Time {
+	if cap(ts) < n {
+		return make([]sim.Time, n)
+	}
+	ts = ts[:n]
+	for i := range ts {
+		ts[i] = 0
+	}
+	return ts
+}
+
+// complete invokes a continuation with the continuation charge.
+func (r *Rpc) complete(cont func(error), err error) {
+	r.charge(r.cost.Continuation)
+	if err != nil {
+		r.Stats.ReqsFailed++
+	} else {
+		r.Stats.ReqsCompleted++
+	}
+	if cont != nil {
+		cont(err)
+	}
+}
+
+// onTransportWake runs when a packet arrives while the RX queue was
+// empty. In simulation mode it schedules an event-loop run; in real
+// mode it nudges the loop goroutine.
+func (r *Rpc) onTransportWake() {
+	if r.sched != nil {
+		r.scheduleRun()
+		return
+	}
+	select {
+	case r.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// scheduleRun arranges for the event loop to run as soon as the
+// simulated CPU is free.
+func (r *Rpc) scheduleRun() {
+	if r.runScheduled {
+		return
+	}
+	r.runScheduled = true
+	at := r.sched.Now()
+	if r.busyUntil > at {
+		at = r.busyUntil
+	}
+	r.sched.At(at, r.runSim)
+}
+
+func (r *Rpc) runSim() {
+	r.runScheduled = false
+	now := r.sched.Now()
+	if now < r.busyUntil {
+		// The CPU is still busy with earlier work; try again when free.
+		r.scheduleRun()
+		return
+	}
+	r.cursor = now
+	r.runOnce()
+	r.busyUntil = r.cursor
+	r.armWake()
+}
+
+// armWake schedules the next timer-driven loop run (rate limiter
+// deadline, RTO scan, heartbeats). Packet arrivals wake the loop
+// independently via onTransportWake.
+func (r *Rpc) armWake() {
+	next := sim.Time(-1)
+	if d, ok := r.wheel.NextDeadline(); ok {
+		next = d
+	}
+	if r.anyBusySlot() {
+		t := r.cursor + rtoScanInterval
+		if next < 0 || t < next {
+			next = t
+		}
+	}
+	if r.cfg.HeartbeatInterval > 0 {
+		t := r.lastHB + r.cfg.HeartbeatInterval
+		if next < 0 || t < next {
+			next = t
+		}
+	}
+	if next < 0 {
+		return
+	}
+	if next < r.busyUntil {
+		next = r.busyUntil
+	}
+	if r.wakeArmed && r.wakeAt <= next {
+		return
+	}
+	if r.wakeArmed {
+		r.sched.Cancel(r.wakeEv)
+	}
+	r.wakeArmed = true
+	r.wakeAt = next
+	r.wakeEv = r.sched.At(next, func() {
+		r.wakeArmed = false
+		r.scheduleRun()
+	})
+}
+
+func (r *Rpc) anyBusySlot() bool {
+	for _, s := range r.sessions {
+		for i := range s.slots {
+			if s.slots[i].busy {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunEventLoopOnce performs one event-loop iteration (real mode or
+// manual driving in tests). It reports whether any work was done;
+// idle callers should yield the processor (runtime.Gosched) so
+// transport reader goroutines are not starved on small machines.
+func (r *Rpc) RunEventLoopOnce() bool {
+	before := r.Stats.PktsRx + r.Stats.PktsTx
+	r.runOnce()
+	return r.Stats.PktsRx+r.Stats.PktsTx != before
+}
+
+// WaitForWork blocks until a packet arrival wakes the endpoint or d
+// elapses (real-transport mode only). Callers driving the loop by
+// hand use it on idle iterations: parking the goroutine lets the Go
+// runtime service the network poller immediately, which matters on
+// single-P machines where a spinning loop would otherwise wait for
+// sysmon's ~10 ms netpoll pass.
+func (r *Rpc) WaitForWork(d time.Duration) {
+	if r.sched != nil {
+		panic("erpc: WaitForWork is for real-transport mode")
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-r.wakeCh:
+	case <-t.C:
+	}
+}
+
+// RunEventLoop drives the endpoint until stop is closed (real
+// transport mode only). The loop polls hot while work arrives — the
+// paper's polling-based network I/O — and parks briefly when idle so
+// transport reader goroutines always make progress.
+func (r *Rpc) RunEventLoop(stop <-chan struct{}) {
+	if r.sched != nil {
+		panic("erpc: RunEventLoop is for real-transport mode; simulation is scheduler-driven")
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if !r.RunEventLoopOnce() {
+			r.WaitForWork(200 * time.Microsecond)
+		}
+	}
+}
+
+// runOnce is one event-loop iteration: drain the rate limiter, the RX
+// queue and worker completions, then run the RTO scan and management
+// timers (paper §3.1: "the event loop performs the bulk of eRPC's
+// work").
+func (r *Rpc) runOnce() {
+	r.batchTS = r.now()
+	r.pollWheel()
+	r.pollRX()
+	r.drainWorkers()
+	now := r.now()
+	if now-r.lastRTOScan >= rtoScanInterval {
+		r.lastRTOScan = now
+		r.rtoScan()
+	}
+	r.heartbeat()
+}
+
+// pollRX drains the transport receive queue, processing each packet.
+func (r *Rpc) pollRX() {
+	for {
+		frame, from, ok := r.tr.Recv()
+		if !ok {
+			return
+		}
+		r.processPkt(frame, from)
+	}
+}
+
+// drainWorkers completes handler executions returned by worker
+// threads (§3.2).
+func (r *Rpc) drainWorkers() {
+	if r.sched != nil {
+		for len(r.workerDone) > 0 {
+			ctx := r.workerDone[0]
+			r.workerDone = r.workerDone[:copy(r.workerDone, r.workerDone[1:])]
+			r.charge(r.cost.WorkerReturn)
+			r.sendQueuedResponse(ctx)
+		}
+		return
+	}
+	for {
+		select {
+		case ctx := <-r.workerCh:
+			r.sendQueuedResponse(ctx)
+		default:
+			return
+		}
+	}
+}
+
+func fmtAddr(a transport.Addr) string { return fmt.Sprintf("%d:%d", a.Node, a.Port) }

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"repro/internal/msgbuf"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// srvSession finds or lazily creates the server-mode session for a
+// client endpoint (see DESIGN.md: lazy creation stands in for eRPC's
+// sockets-based session handshake).
+func (r *Rpc) srvSession(from transport.Addr, num uint16) *Session {
+	key := sessKey{addr: from, num: num}
+	if s, ok := r.srvSessions[key]; ok {
+		return s
+	}
+	s := &Session{
+		rpc:      r,
+		num:      num,
+		remote:   from,
+		srvSlots: make([]srvSlot, r.cfg.NumSlots),
+	}
+	r.srvSessions[key] = s
+	return s
+}
+
+// onReqPkt handles a request data packet at the server.
+func (r *Rpc) onReqPkt(h *wire.Header, from transport.Addr, payload []byte) {
+	s := r.srvSession(from, h.DstSession)
+	idx := int(h.ReqNum % uint64(r.cfg.NumSlots))
+	ss := &s.srvSlots[idx]
+
+	switch {
+	case h.ReqNum < ss.curReqNum:
+		r.Stats.StalePktsRx++ // packet from a completed, older request
+		return
+	case h.ReqNum > ss.curReqNum:
+		if ss.state == srvProcessing {
+			// The previous request's handler is still running; a new
+			// request on this slot should be impossible (the client
+			// completes a slot only after the full response). Drop.
+			r.Stats.StalePktsRx++
+			return
+		}
+		r.resetSrvSlot(ss)
+		ss.curReqNum = h.ReqNum
+		ss.reqType = h.ReqType
+		ss.msgSize = h.MsgSize
+		ss.numReqPkts = wire.NumPkts(h.MsgSize, r.dataPerPkt)
+		ss.state = srvReceiving
+	}
+
+	n := int(h.PktNum)
+	switch ss.state {
+	case srvReceiving:
+		switch {
+		case n < ss.reqPktsRcvd:
+			// Duplicate after a client rollback: re-ack so the client
+			// makes progress.
+			if n < ss.numReqPkts-1 {
+				r.sendCR(s, ss, n)
+			}
+		case n > ss.reqPktsRcvd:
+			r.Stats.StalePktsRx++ // reordered: dropped (§5.3)
+		default:
+			r.acceptReqPkt(s, ss, idx, n, payload)
+		}
+	case srvProcessing:
+		// Retransmitted request while the handler runs: the response
+		// is not ready; at-most-once forbids re-running the handler.
+		r.Stats.StalePktsRx++
+	case srvResponded:
+		// Retransmission after we responded: re-send the ack the
+		// client is missing.
+		if n == ss.numReqPkts-1 {
+			r.sendRespPkt(s, ss, 0)
+		} else {
+			r.sendCR(s, ss, n)
+		}
+	default:
+		r.Stats.StalePktsRx++
+	}
+}
+
+// acceptReqPkt integrates an in-order request packet and invokes the
+// handler when the request is complete.
+func (r *Rpc) acceptReqPkt(s *Session, ss *srvSlot, idx, n int, payload []byte) {
+	if ss.numReqPkts > 1 {
+		if ss.reqBuf == nil {
+			r.charge(r.cost.DynAlloc)
+			ss.reqBuf = r.alloc.Alloc(int(ss.msgSize))
+		}
+		off := n * r.dataPerPkt
+		copied := copy(ss.reqBuf.Data()[off:], payload)
+		r.chargeBytes(copied)
+	}
+	ss.reqPktsRcvd++
+	if n < ss.numReqPkts-1 {
+		r.sendCR(s, ss, n)
+	}
+	if ss.reqPktsRcvd == ss.numReqPkts {
+		r.invokeHandler(s, ss, idx, payload)
+	}
+}
+
+// invokeHandler runs the registered handler in dispatch or worker mode
+// (§3.2).
+func (r *Rpc) invokeHandler(s *Session, ss *srvSlot, idx int, lastPayload []byte) {
+	h := r.nexus.handler(ss.reqType)
+	if h == nil {
+		// No handler: the request is dropped; misregistration is an
+		// application bug (the client will retry until RTO storms
+		// surface it).
+		r.Stats.StalePktsRx++
+		ss.state = srvIdle
+		return
+	}
+	ctx := &ReqContext{
+		rpc:     r,
+		sess:    s,
+		slotIdx: idx,
+		reqNum:  ss.curReqNum,
+		ReqType: ss.reqType,
+	}
+	switch {
+	case ss.numReqPkts > 1:
+		ctx.Req = ss.reqBuf.Data()
+	case h.RunInWorker || r.opts.DisableZeroCopyRX:
+		// Copy the single-packet request out of the RX ring: worker
+		// handlers outlive the ring buffer; the disabled-optimization
+		// path models Table 3's "0-copy request processing" row.
+		if r.opts.DisableZeroCopyRX && !h.RunInWorker {
+			r.charge(r.cost.ZeroCopyOff)
+		} else {
+			r.charge(r.cost.DynAlloc)
+			r.chargeBytes(len(lastPayload))
+		}
+		ctx.reqCopy = make([]byte, len(lastPayload))
+		copy(ctx.reqCopy, lastPayload)
+		ctx.Req = ctx.reqCopy
+	default:
+		// Common case: zero-copy request processing (§4.2.3). The
+		// slice aliases the RX ring and is valid only while the
+		// handler runs.
+		ctx.Req = lastPayload
+	}
+	ss.state = srvProcessing
+	r.Stats.HandlersRun++
+
+	cost := h.Cost
+	if cost == 0 {
+		cost = r.cost.DefHandler
+	}
+	if !h.RunInWorker {
+		r.charge(cost)
+		h.Fn(ctx)
+		return
+	}
+
+	// Worker mode: hand off to a worker thread; the dispatch thread
+	// pays only the handoff cost and stays responsive (§3.2).
+	r.Stats.WorkerHandlers++
+	ctx.inWorker = true
+	r.charge(r.cost.WorkerDispatch)
+	if r.sched != nil {
+		// The worker runs in parallel with the dispatch thread: model
+		// it as completing after its execution time.
+		r.sched.At(r.cursor+scaled(cost, r.scale), func() { h.Fn(ctx) })
+		return
+	}
+	go h.Fn(ctx)
+}
+
+// scaled applies the cluster CPU-speed factor to a duration.
+func scaled(d sim.Time, s float64) sim.Time { return sim.Time(float64(d) * s) }
+
+// sendQueuedResponse finalizes a handler's response on the dispatch
+// thread and transmits its first packet.
+func (r *Rpc) sendQueuedResponse(ctx *ReqContext) {
+	s := ctx.sess
+	if s.failed {
+		return
+	}
+	ss := &s.srvSlots[ctx.slotIdx]
+	if ss.curReqNum != ctx.reqNum || ss.state != srvProcessing {
+		return // slot was reset (e.g. peer failure) while the worker ran
+	}
+	if ctx.respBuf == nil {
+		panic("erpc: EnqueueResponse without AllocResponse")
+	}
+	if ss.reqBuf != nil {
+		r.alloc.Free(ss.reqBuf)
+		ss.reqBuf = nil
+	}
+	ctx.reqCopy = nil
+	ss.respBuf = ctx.respBuf
+	ss.respIsPrealloc = ctx.respIsPrealloc
+	ss.respPooled = ctx.respPooled
+	ss.state = srvResponded
+	r.sendRespPkt(s, ss, 0)
+}
+
+// sendRespPkt transmits response packet k. Packets after the first are
+// sent only in reply to RFRs (client-driven protocol, §5.1).
+func (r *Rpc) sendRespPkt(s *Session, ss *srvSlot, k int) {
+	h := wire.Header{
+		PktType:    wire.PktResp,
+		ReqType:    ss.reqType,
+		MsgSize:    uint32(ss.respBuf.MsgSize()),
+		DstSession: s.num,
+		PktNum:     uint16(k),
+		ReqNum:     ss.curReqNum,
+	}
+	if err := h.Encode(ss.respBuf.PktHeader(k)); err != nil {
+		panic("erpc: header encode: " + err.Error())
+	}
+	frame := ss.respBuf.Frame(k, r.scratch)
+	r.charge(r.cost.PktTx)
+	r.rawSend(s.remote, frame)
+}
+
+// sendCR transmits an explicit credit return for request packet n.
+func (r *Rpc) sendCR(s *Session, ss *srvSlot, n int) {
+	r.charge(r.cost.PktTx)
+	r.sendCtrl(s.remote, wire.Header{
+		PktType:    wire.PktCR,
+		ReqType:    ss.reqType,
+		MsgSize:    ss.msgSize,
+		DstSession: s.num,
+		PktNum:     uint16(n),
+		ReqNum:     ss.curReqNum,
+	})
+}
+
+// onRFR handles a request-for-response packet.
+func (r *Rpc) onRFR(h *wire.Header, from transport.Addr) {
+	s := r.srvSession(from, h.DstSession)
+	idx := int(h.ReqNum % uint64(r.cfg.NumSlots))
+	ss := &s.srvSlots[idx]
+	if h.ReqNum != ss.curReqNum || ss.state != srvResponded {
+		r.Stats.StalePktsRx++
+		return
+	}
+	k := int(h.PktNum)
+	if k < 1 || k >= ss.respBuf.NumPkts() {
+		r.Stats.StalePktsRx++
+		return
+	}
+	r.sendRespPkt(s, ss, k)
+}
+
+// resetSrvSlot releases a slot's buffers before reuse.
+func (r *Rpc) resetSrvSlot(ss *srvSlot) {
+	if ss.reqBuf != nil {
+		r.alloc.Free(ss.reqBuf)
+		ss.reqBuf = nil
+	}
+	if ss.respBuf != nil && !ss.respIsPrealloc && ss.respPooled {
+		r.alloc.Free(ss.respBuf)
+	}
+	ss.respBuf = nil
+	ss.respIsPrealloc = false
+	ss.respPooled = false
+	ss.reqPktsRcvd = 0
+	ss.numReqPkts = 0
+	ss.state = srvIdle
+}
+
+// ReqContext is the server-side context passed to request handlers
+// (the paper's req_handle). Handlers fill a response via AllocResponse
+// and submit it with EnqueueResponse — immediately, or later for
+// nested RPCs (§3.1).
+type ReqContext struct {
+	rpc     *Rpc
+	sess    *Session
+	slotIdx int
+	reqNum  uint64
+
+	// ReqType is the request's registered type.
+	ReqType uint8
+	// Req is the request data. For dispatch-mode handlers of
+	// single-packet requests it aliases the RX ring (zero copy) and is
+	// valid only until the handler returns; handlers that defer their
+	// response must copy it.
+	Req []byte
+
+	reqCopy        []byte
+	respBuf        *msgbuf.Buf
+	respIsPrealloc bool
+	respPooled     bool
+	inWorker       bool
+}
+
+// Rpc returns the endpoint that received this request, letting shared
+// handlers dispatch to per-endpoint state.
+func (c *ReqContext) Rpc() *Rpc { return c.rpc }
+
+// AllocResponse returns a zeroed response buffer of n bytes. Responses
+// that fit in one packet use the slot's preallocated msgbuf, avoiding
+// dynamic allocation (§4.3).
+func (c *ReqContext) AllocResponse(n int) []byte {
+	r := c.rpc
+	if n > r.cfg.MaxMsgSize {
+		panic("erpc: response exceeds MaxMsgSize")
+	}
+	ss := &c.sess.srvSlots[c.slotIdx]
+	usePrealloc := !r.opts.DisablePreallocResponses && n <= r.dataPerPkt && !c.inWorker
+	switch {
+	case usePrealloc:
+		if ss.prealloc == nil {
+			ss.prealloc = msgbuf.NewBuf(r.dataPerPkt, r.dataPerPkt)
+		}
+		if !c.inWorker {
+			r.charge(r.cost.RespPrep)
+		}
+		ss.prealloc.Resize(n)
+		c.respBuf = ss.prealloc
+		c.respIsPrealloc = true
+		c.respPooled = false
+	case c.inWorker:
+		// Worker threads must not touch the dispatch thread's pooled
+		// allocator; use an unpooled buffer.
+		c.respBuf = msgbuf.NewBuf(n, r.dataPerPkt)
+		c.respIsPrealloc = false
+		c.respPooled = false
+	default:
+		if r.opts.DisablePreallocResponses && n <= r.dataPerPkt {
+			r.charge(r.cost.PreallocOff)
+		} else {
+			r.charge(r.cost.DynAlloc)
+		}
+		c.respBuf = r.alloc.Alloc(n)
+		c.respIsPrealloc = false
+		c.respPooled = true
+	}
+	data := c.respBuf.Data()
+	for i := range data {
+		data[i] = 0
+	}
+	return data
+}
+
+// EnqueueResponse submits the response filled via AllocResponse. It
+// may be called from the handler, from a later dispatch-context event
+// (nested RPCs), or from a worker thread.
+func (c *ReqContext) EnqueueResponse() {
+	r := c.rpc
+	if !c.inWorker {
+		r.sendQueuedResponse(c)
+		return
+	}
+	if r.sched != nil {
+		r.workerDone = append(r.workerDone, c)
+		r.scheduleRun()
+		return
+	}
+	r.workerCh <- c
+	r.onTransportWake()
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"repro/internal/msgbuf"
+	"repro/internal/sim"
+	"repro/internal/timely"
+	"repro/internal/transport"
+)
+
+// sessKey identifies a server-mode session: the client endpoint's
+// address plus the client's session number. Server-mode sessions are
+// created lazily on the first packet of a new session, standing in for
+// eRPC's sockets-based session handshake (see DESIGN.md §6).
+type sessKey struct {
+	addr transport.Addr
+	num  uint16
+}
+
+// Session is a one-to-one connection between two Rpc endpoints
+// (paper §3.1). The same struct serves client mode (created by
+// CreateSession) and server mode (created on demand).
+type Session struct {
+	rpc      *Rpc
+	num      uint16 // client-assigned session number, used on the wire
+	remote   transport.Addr
+	isClient bool
+	failed   bool
+
+	// Client mode.
+	credits int // available session credits (starts at Config.Credits)
+	slots   []sslot
+	backlog []pendingReq
+	cc      ccState
+
+	// Server mode.
+	srvSlots []srvSlot
+}
+
+// Remote returns the address of the session's peer endpoint.
+func (s *Session) Remote() transport.Addr { return s.remote }
+
+// Credits returns the currently available session credits (client
+// mode).
+func (s *Session) Credits() int { return s.credits }
+
+// CCRate returns Timely's current sending rate in bytes/sec, or 0 when
+// congestion control is disabled. Exposed for experiments.
+func (s *Session) CCRate() float64 {
+	if s.cc.timely == nil {
+		return 0
+	}
+	return s.cc.timely.Rate()
+}
+
+// CCUpdates returns the number of Timely rate computations performed
+// for this session (bypassed samples excluded).
+func (s *Session) CCUpdates() uint64 {
+	if s.cc.timely == nil {
+		return 0
+	}
+	return s.cc.timely.Updates
+}
+
+type pendingReq struct {
+	reqType uint8
+	req     *msgbuf.Buf
+	resp    *msgbuf.Buf
+	cont    func(error)
+}
+
+// sslot tracks one outstanding client request (paper §4.3: "a session
+// uses an array of slots to track RPC metadata for outstanding
+// requests").
+type sslot struct {
+	busy    bool
+	reqNum  uint64
+	reqType uint8
+	req     *msgbuf.Buf
+	resp    *msgbuf.Buf
+	cont    func(error)
+
+	numReqPkts int
+	reqSent    int // next request packet index to transmit
+	reqAcked   int // request packets acknowledged via explicit CRs
+
+	respNumPkts int // 0 until the first response packet reveals the size
+	respRcvd    int // response packets received (strictly in order)
+	rfrSent     int // next response packet index to request via RFR
+
+	inFlight int // unacknowledged client→server packets (credits held)
+
+	// txTimes[i] is the transmit timestamp of the client→server
+	// packet that will be acknowledged by pktNum i: request packets
+	// for the request phase, RFRs for the response phase.
+	reqTxTimes  []sim.Time
+	respTxTimes []sim.Time
+
+	lastProgress sim.Time
+	retransmits  int
+}
+
+// reset prepares the slot for reuse, keeping its reqNum history.
+func (ss *sslot) reset() {
+	ss.busy = false
+	ss.req = nil
+	ss.resp = nil
+	ss.cont = nil
+	ss.numReqPkts = 0
+	ss.reqSent = 0
+	ss.reqAcked = 0
+	ss.respNumPkts = 0
+	ss.respRcvd = 0
+	ss.rfrSent = 0
+	ss.inFlight = 0
+	ss.reqTxTimes = ss.reqTxTimes[:0]
+	ss.respTxTimes = ss.respTxTimes[:0]
+	ss.retransmits = 0
+}
+
+// Server-slot states.
+const (
+	srvIdle = iota
+	srvReceiving
+	srvProcessing
+	srvResponded
+)
+
+// srvSlot is the server-side mirror of a client slot. At-most-once
+// execution (paper §5.3) hinges on curReqNum: the handler never runs
+// twice for the same request number.
+type srvSlot struct {
+	state     int
+	curReqNum uint64
+	reqType   uint8
+	msgSize   uint32
+
+	numReqPkts  int
+	reqPktsRcvd int
+	reqBuf      *msgbuf.Buf // nil for zero-copy single-packet requests
+
+	respBuf        *msgbuf.Buf
+	respIsPrealloc bool
+	respPooled     bool        // respBuf came from the endpoint allocator
+	prealloc       *msgbuf.Buf // preallocated MTU-sized response buffer (§4.3)
+}
+
+// ccState is the per-session congestion control state: a Timely
+// instance plus the pacing cursor used when packets go through the
+// rate limiter (paper §5.2). Client-side only; sessions that host only
+// server-mode endpoints have no congestion control overhead.
+type ccState struct {
+	timely  *timely.Timely
+	nextTx  sim.Time // earliest time the next paced packet may leave
+	inWheel int      // packets of this session queued in the wheel
+}
+
+// wheelEntry is a rate-limited packet waiting in the Carousel wheel.
+// buf, when non-nil, holds a TX reference on the request msgbuf for
+// the zero-copy ownership invariant (paper Appendix C).
+type wheelEntry struct {
+	sess    *Session
+	slotIdx int
+	reqNum  uint64 // guards against slot reuse
+	kind    wireKind
+	pktNum  int
+	buf     *msgbuf.Buf
+}
+
+type wireKind uint8
+
+const (
+	kindReqData wireKind = iota
+	kindRFR
+)

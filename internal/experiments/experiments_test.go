@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quick returns reduced-scale options for test runs.
+func quick() Options { return Options{Scale: 0.15, Seed: 42} }
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper's evaluation must be
+	// registered (the DESIGN.md per-experiment index).
+	want := []string{"fig1", "fig4", "fig5", "fig6", "sec65", "sec72", "tab2", "tab3", "tab4", "tab5", "tab6"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry has %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	rep := Fig1(quick())
+	if len(rep.Rows) != 7 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// RDMA read rate must decline from ~47 M/s to ≈ half at 5000.
+	first := firstNum(t, rep.Rows[0].Measured)
+	last := firstNum(t, rep.Rows[len(rep.Rows)-1].Measured)
+	if first < 40 || last > 0.65*first {
+		t.Fatalf("fig1 shape wrong: %v .. %v", first, last)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rep := Table2(quick())
+	// eRPC must be slower than RDMA on each cluster, by < 1 µs.
+	for i := 0; i < 6; i += 2 {
+		rdma := firstNum(t, rep.Rows[i].Measured)
+		erpc := firstNum(t, rep.Rows[i+1].Measured)
+		if erpc <= rdma {
+			t.Fatalf("%s: eRPC (%v) should be slower than RDMA (%v)", rep.Rows[i].Label, erpc, rdma)
+		}
+		if erpc-rdma > 1.0 {
+			t.Fatalf("%s: eRPC overhead %v µs exceeds the paper's 800 ns bound", rep.Rows[i].Label, erpc-rdma)
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	rep := Fig4(quick())
+	// For each B: FaSST ≥ eRPC(CX3) (specialization wins per-core on
+	// the same cluster), and eRPC(CX4) ≈ 5 Mrps at B=3.
+	fasst := firstNum(t, rep.Rows[0].Measured)
+	erpc3 := firstNum(t, rep.Rows[1].Measured)
+	erpc4 := firstNum(t, rep.Rows[2].Measured)
+	if fasst < erpc3*0.95 {
+		t.Fatalf("FaSST (%v) should not lose to eRPC on CX3 (%v)", fasst, erpc3)
+	}
+	if erpc3 < 0.82*fasst {
+		t.Fatalf("eRPC (%v) should be within 18%% of FaSST (%v) — paper's claim", erpc3, fasst)
+	}
+	if erpc4 < 4.0 || erpc4 > 6.0 {
+		t.Fatalf("eRPC CX4 B=3 = %v Mrps, want ≈5", erpc4)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rep := Table3(quick())
+	// Rates must decrease monotonically as optimizations are
+	// cumulatively disabled, and no-cc must beat the baseline.
+	rates := make([]float64, 0, len(rep.Rows))
+	for _, row := range rep.Rows {
+		rates = append(rates, firstNum(t, row.Measured))
+	}
+	base, noCC := rates[0], rates[len(rates)-1]
+	for i := 1; i < len(rates)-1; i++ {
+		if rates[i] >= rates[i-1] {
+			t.Fatalf("row %d (%s): rate %v did not drop from %v", i, rep.Rows[i].Label, rates[i], rates[i-1])
+		}
+	}
+	if noCC <= base {
+		t.Fatalf("disabling cc (%v) must beat baseline (%v)", noCC, base)
+	}
+	worst := rates[len(rates)-2]
+	if worst > 0.75*base {
+		t.Fatalf("all optimizations off (%v) should cost ≥25%% of baseline (%v)", worst, base)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	rep := Table4(quick())
+	lo := firstNum(t, rep.Rows[0].Measured) // 1e-6 loss at test scale
+	hi := firstNum(t, rep.Rows[1].Measured) // 1e-4 loss
+	if hi >= lo {
+		t.Fatalf("throughput must collapse with loss: %v → %v", lo, hi)
+	}
+	if lo < 50 {
+		t.Fatalf("near-lossless throughput = %v Gbps, want ≈70", lo)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	rep := Table5(quick())
+	// 20-way: cc must cut median RTT well below the no-cc
+	// window-limited level.
+	ccP50 := rttP50(t, rep.Rows[0].Measured)
+	noP50 := rttP50(t, rep.Rows[1].Measured)
+	if ccP50 >= noP50/2 {
+		t.Fatalf("cc median RTT %v should be <50%% of no-cc %v", ccP50, noP50)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	rep := Table6(quick())
+	cli := rttP50(t, rep.Rows[1].Measured)
+	commit := rttP50(t, rep.Rows[3].Measured)
+	// Microsecond-scale replication: client PUT < 9.7 µs (beats
+	// NetChain), leader commit ≈ 3 µs (competitive with ZabFPGA).
+	if cli <= 0 || cli >= 9.7 {
+		t.Fatalf("client PUT p50 = %v µs, want < NetChain's 9.7", cli)
+	}
+	if commit <= 0 || commit > 5 {
+		t.Fatalf("leader commit p50 = %v µs, want ≈3", commit)
+	}
+	if cli <= commit {
+		t.Fatalf("client latency (%v) must exceed leader commit latency (%v)", cli, commit)
+	}
+	if strings.Contains(rep.Notes, "WARNING") {
+		t.Fatal(rep.Notes)
+	}
+}
+
+func TestSec72Shape(t *testing.T) {
+	rep := Sec72(quick())
+	rate := firstNum(t, rep.Rows[0].Measured)
+	workerP99 := firstNum(t, rep.Rows[1].Measured)
+	dispatchP99 := firstNum(t, rep.Rows[2].Measured)
+	lowP50 := firstNum(t, rep.Rows[3].Measured)
+	if rate < 8 {
+		t.Fatalf("GET rate = %v M/s, want >8 (paper: 14.3)", rate)
+	}
+	if dispatchP99 <= workerP99 {
+		t.Fatalf("dispatch-only p99 (%v) must exceed worker p99 (%v)", dispatchP99, workerP99)
+	}
+	if lowP50 < 1.5 || lowP50 > 5 {
+		t.Fatalf("low-load GET p50 = %v µs, want ≈2.7", lowP50)
+	}
+}
+
+func firstNum(t *testing.T, s string) float64 {
+	t.Helper()
+	for _, f := range strings.FieldsFunc(s, func(r rune) bool {
+		return (r < '0' || r > '9') && r != '.'
+	}) {
+		if v, err := strconv.ParseFloat(f, 64); err == nil {
+			return v
+		}
+	}
+	t.Fatalf("no number in %q", s)
+	return 0
+}
+
+// rttP50 pulls the p50 value out of a Table 5 measured cell.
+func rttP50(t *testing.T, s string) float64 {
+	t.Helper()
+	i := strings.Index(s, "p50=")
+	if i < 0 {
+		t.Fatalf("no p50 in %q", s)
+	}
+	return firstNum(t, s[i+4:])
+}

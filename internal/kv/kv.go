@@ -1,0 +1,119 @@
+// Package kv is an in-memory key-value store in the spirit of MICA
+// (Lim et al., NSDI 2014), which the paper reuses for the replicated
+// key-value store of §7.1: fixed-size keys hashed into a lock-free-
+// friendly table. The store is single-owner (one dispatch thread), so
+// no locking is needed — matching how the paper's SMR servers own
+// their state machine.
+package kv
+
+import "encoding/binary"
+
+// Store maps fixed-size binary keys to values.
+type Store struct {
+	shards []map[uint64][]byte
+	size   int
+
+	// Stats.
+	Gets, Puts, Deletes, Misses uint64
+}
+
+// numShards spreads keys to keep bucket chains short, like MICA's
+// partitions.
+const numShards = 16
+
+// New returns an empty store.
+func New() *Store {
+	s := &Store{shards: make([]map[uint64][]byte, numShards)}
+	for i := range s.shards {
+		s.shards[i] = map[uint64][]byte{}
+	}
+	return s
+}
+
+// hash is a 64-bit FNV-1a over the key.
+func hash(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Get returns the value for key, or nil if absent. The returned slice
+// is owned by the store; callers must copy it to retain it.
+func (s *Store) Get(key []byte) []byte {
+	s.Gets++
+	h := hash(key)
+	v, ok := s.shards[h%numShards][h]
+	if !ok {
+		s.Misses++
+		return nil
+	}
+	return v
+}
+
+// Put stores a copy of value under key.
+func (s *Store) Put(key, value []byte) {
+	s.Puts++
+	h := hash(key)
+	sh := s.shards[h%numShards]
+	if old, ok := sh[h]; ok {
+		s.size -= len(old)
+	} else {
+		s.size += 8
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	sh[h] = cp
+	s.size += len(value)
+}
+
+// Delete removes key; it reports whether the key existed.
+func (s *Store) Delete(key []byte) bool {
+	s.Deletes++
+	h := hash(key)
+	sh := s.shards[h%numShards]
+	if old, ok := sh[h]; ok {
+		s.size -= len(old) + 8
+		delete(sh, h)
+		return true
+	}
+	return false
+}
+
+// Len reports the number of keys.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh)
+	}
+	return n
+}
+
+// SizeBytes approximates resident bytes.
+func (s *Store) SizeBytes() int { return s.size }
+
+// EncodePut serializes a PUT command for a replicated log (16 B key,
+// variable value), used by the §7.1 Raft state machine.
+func EncodePut(key, value []byte) []byte {
+	buf := make([]byte, 4+len(key)+len(value))
+	binary.LittleEndian.PutUint16(buf[0:2], uint16(len(key)))
+	binary.LittleEndian.PutUint16(buf[2:4], uint16(len(value)))
+	copy(buf[4:], key)
+	copy(buf[4+len(key):], value)
+	return buf
+}
+
+// DecodePut parses a PUT command; ok is false on malformed input.
+func DecodePut(cmd []byte) (key, value []byte, ok bool) {
+	if len(cmd) < 4 {
+		return nil, nil, false
+	}
+	kl := int(binary.LittleEndian.Uint16(cmd[0:2]))
+	vl := int(binary.LittleEndian.Uint16(cmd[2:4]))
+	if len(cmd) != 4+kl+vl {
+		return nil, nil, false
+	}
+	return cmd[4 : 4+kl], cmd[4+kl:], true
+}

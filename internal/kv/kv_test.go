@@ -1,0 +1,143 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := New()
+	if s.Get([]byte("missing")) != nil {
+		t.Fatal("missing key should return nil")
+	}
+	s.Put([]byte("k1"), []byte("v1"))
+	if got := s.Get([]byte("k1")); string(got) != "v1" {
+		t.Fatalf("got %q", got)
+	}
+	s.Put([]byte("k1"), []byte("v2"))
+	if got := s.Get([]byte("k1")); string(got) != "v2" {
+		t.Fatalf("overwrite: got %q", got)
+	}
+	if !s.Delete([]byte("k1")) {
+		t.Fatal("delete existing should be true")
+	}
+	if s.Delete([]byte("k1")) {
+		t.Fatal("delete missing should be false")
+	}
+	if s.Get([]byte("k1")) != nil {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestValueCopied(t *testing.T) {
+	s := New()
+	v := []byte("orig")
+	s.Put([]byte("k"), v)
+	v[0] = 'X'
+	if string(s.Get([]byte("k"))) != "orig" {
+		t.Fatal("store aliased caller's value")
+	}
+}
+
+func TestLenAndSize(t *testing.T) {
+	s := New()
+	for i := 0; i < 100; i++ {
+		s.Put([]byte(fmt.Sprintf("key-%03d", i)), bytes.Repeat([]byte{1}, 64))
+	}
+	if s.Len() != 100 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.SizeBytes() < 100*64 {
+		t.Fatalf("size = %d", s.SizeBytes())
+	}
+	s.Delete([]byte("key-000"))
+	if s.Len() != 99 {
+		t.Fatalf("len after delete = %d", s.Len())
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	s := New()
+	s.Put([]byte("a"), []byte("1"))
+	s.Get([]byte("a"))
+	s.Get([]byte("b"))
+	if s.Gets != 2 || s.Puts != 1 || s.Misses != 1 {
+		t.Fatalf("stats: %+v", *s)
+	}
+}
+
+// Property: the store behaves like a map[string]string.
+func TestMapEquivalenceProperty(t *testing.T) {
+	type op struct {
+		Key   uint8
+		Val   uint16
+		IsPut bool
+	}
+	f := func(ops []op) bool {
+		s := New()
+		model := map[string]string{}
+		for _, o := range ops {
+			k := fmt.Sprintf("key-%d", o.Key%32)
+			if o.IsPut {
+				v := fmt.Sprintf("val-%d", o.Val)
+				s.Put([]byte(k), []byte(v))
+				model[k] = v
+			} else {
+				got := s.Get([]byte(k))
+				want, ok := model[k]
+				if ok != (got != nil) {
+					return false
+				}
+				if ok && string(got) != want {
+					return false
+				}
+			}
+		}
+		return s.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodePut(t *testing.T) {
+	cmd := EncodePut([]byte("0123456789abcdef"), bytes.Repeat([]byte{7}, 64))
+	k, v, ok := DecodePut(cmd)
+	if !ok || string(k) != "0123456789abcdef" || len(v) != 64 {
+		t.Fatalf("roundtrip failed: %v %q %d", ok, k, len(v))
+	}
+	if _, _, ok := DecodePut(cmd[:3]); ok {
+		t.Fatal("short command should fail")
+	}
+	if _, _, ok := DecodePut(append(cmd, 0)); ok {
+		t.Fatal("trailing bytes should fail")
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(key, value []byte) bool {
+		if len(key) > 1000 || len(value) > 1000 {
+			return true
+		}
+		k, v, ok := DecodePut(EncodePut(key, value))
+		return ok && bytes.Equal(k, key) && bytes.Equal(v, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := New()
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%04d", i))
+		s.Put(keys[i], bytes.Repeat([]byte{1}, 64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(keys[i%1024])
+	}
+}

@@ -1,0 +1,206 @@
+// Package masstree is an ordered in-memory key-value store standing in
+// for Masstree (Mao et al., EuroSys 2012), the database index used in
+// the paper's §7.2 benchmark. It is a B+-tree over byte-string keys
+// supporting point GETs, PUTs and ordered SCANs — the exact API
+// surface the §7.2 workload needs (99% GET(key), 1% SCAN(key, 128)
+// that sums the values of the 128 succeeding keys).
+package masstree
+
+import "bytes"
+
+// fanout is the B+-tree order: max children per inner node.
+const fanout = 16
+
+// Tree is an ordered map from []byte keys to []byte values. It is
+// single-owner, like one Masstree partition behind a dispatch thread.
+type Tree struct {
+	root node
+	size int
+
+	// Stats.
+	Gets, Puts, Scans uint64
+}
+
+type node interface {
+	// firstKey returns the smallest key in the subtree.
+	firstKey() []byte
+}
+
+type leaf struct {
+	keys [][]byte
+	vals [][]byte
+	next *leaf // leaf chain for scans
+}
+
+type inner struct {
+	// children[i] covers keys in [seps[i-1], seps[i]); len(seps) ==
+	// len(children)-1.
+	seps     [][]byte
+	children []node
+}
+
+func (l *leaf) firstKey() []byte  { return l.keys[0] }
+func (n *inner) firstKey() []byte { return n.children[0].firstKey() }
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len reports the number of keys.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value for key, or nil. The returned slice is owned
+// by the tree.
+func (t *Tree) Get(key []byte) []byte {
+	t.Gets++
+	l := t.findLeaf(key)
+	if l == nil {
+		return nil
+	}
+	i := lowerBound(l.keys, key)
+	if i < len(l.keys) && bytes.Equal(l.keys[i], key) {
+		return l.vals[i]
+	}
+	return nil
+}
+
+// Put stores a copy of value under a copy of key.
+func (t *Tree) Put(key, value []byte) {
+	t.Puts++
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	if t.root == nil {
+		t.root = &leaf{keys: [][]byte{k}, vals: [][]byte{v}}
+		t.size = 1
+		return
+	}
+	sep, right := t.insert(t.root, k, v)
+	if right != nil {
+		t.root = &inner{seps: [][]byte{sep}, children: []node{t.root, right}}
+	}
+}
+
+// insert adds k/v under n; on split it returns the separator key and
+// the new right sibling.
+func (t *Tree) insert(n node, k, v []byte) ([]byte, node) {
+	switch n := n.(type) {
+	case *leaf:
+		i := lowerBound(n.keys, k)
+		if i < len(n.keys) && bytes.Equal(n.keys[i], k) {
+			n.vals[i] = v // overwrite
+			return nil, nil
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = k
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = v
+		t.size++
+		if len(n.keys) < fanout {
+			return nil, nil
+		}
+		// Split.
+		mid := len(n.keys) / 2
+		right := &leaf{
+			keys: append([][]byte(nil), n.keys[mid:]...),
+			vals: append([][]byte(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		n.next = right
+		return right.keys[0], right
+	case *inner:
+		ci := childIndex(n.seps, k)
+		sep, right := t.insert(n.children[ci], k, v)
+		if right == nil {
+			return nil, nil
+		}
+		n.seps = append(n.seps, nil)
+		copy(n.seps[ci+1:], n.seps[ci:])
+		n.seps[ci] = sep
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = right
+		if len(n.children) <= fanout {
+			return nil, nil
+		}
+		// Split inner node.
+		mid := len(n.children) / 2
+		upSep := n.seps[mid-1]
+		rightN := &inner{
+			seps:     append([][]byte(nil), n.seps[mid:]...),
+			children: append([]node(nil), n.children[mid:]...),
+		}
+		n.seps = n.seps[: mid-1 : mid-1]
+		n.children = n.children[:mid:mid]
+		return upSep, rightN
+	}
+	panic("masstree: unknown node type")
+}
+
+func (t *Tree) findLeaf(key []byte) *leaf {
+	n := t.root
+	if n == nil {
+		return nil
+	}
+	for {
+		switch v := n.(type) {
+		case *leaf:
+			return v
+		case *inner:
+			n = v.children[childIndex(v.seps, key)]
+		}
+	}
+}
+
+// Scan visits up to count key/value pairs with key ≥ start, in order;
+// fn returning false stops early. It returns the number visited.
+func (t *Tree) Scan(start []byte, count int, fn func(k, v []byte) bool) int {
+	t.Scans++
+	l := t.findLeaf(start)
+	if l == nil {
+		return 0
+	}
+	visited := 0
+	i := lowerBound(l.keys, start)
+	for l != nil && visited < count {
+		for ; i < len(l.keys) && visited < count; i++ {
+			visited++
+			if !fn(l.keys[i], l.vals[i]) {
+				return visited
+			}
+		}
+		l = l.next
+		i = 0
+	}
+	return visited
+}
+
+// lowerBound returns the first index with keys[i] >= k.
+func lowerBound(keys [][]byte, k []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns the child covering key k given separators.
+func childIndex(seps [][]byte, k []byte) int {
+	lo, hi := 0, len(seps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(seps[mid], k) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,240 @@
+package masstree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	if tr.Get([]byte("nope")) != nil {
+		t.Fatal("empty tree Get should be nil")
+	}
+	for i := 0; i < 1000; i++ {
+		tr.Put(key(i), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		if got := tr.Get(key(i)); string(got) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Get(%d) = %q", i, got)
+		}
+	}
+	if tr.Get(key(1000)) != nil {
+		t.Fatal("absent key should be nil")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("k"), []byte("v1"))
+	tr.Put([]byte("k"), []byte("v2"))
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if got := tr.Get([]byte("k")); string(got) != "v2" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestKeysCopied(t *testing.T) {
+	tr := New()
+	k := []byte("mutable")
+	tr.Put(k, []byte("v"))
+	k[0] = 'X'
+	if tr.Get([]byte("mutable")) == nil {
+		t.Fatal("tree aliased caller's key")
+	}
+}
+
+func TestScanInOrder(t *testing.T) {
+	tr := New()
+	perm := rand.New(rand.NewSource(1)).Perm(500)
+	for _, i := range perm {
+		tr.Put(key(i), []byte{byte(i)})
+	}
+	var got [][]byte
+	n := tr.Scan(key(0), 500, func(k, _ []byte) bool {
+		got = append(got, append([]byte(nil), k...))
+		return true
+	})
+	if n != 500 || len(got) != 500 {
+		t.Fatalf("visited %d", n)
+	}
+	for i := 1; i < len(got); i++ {
+		if bytes.Compare(got[i-1], got[i]) >= 0 {
+			t.Fatalf("scan out of order at %d", i)
+		}
+	}
+}
+
+func TestScanFromMiddleAndCount(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Put(key(i), []byte{1})
+	}
+	var first []byte
+	n := tr.Scan(key(500), 128, func(k, _ []byte) bool {
+		if first == nil {
+			first = append([]byte(nil), k...)
+		}
+		return true
+	})
+	if n != 128 {
+		t.Fatalf("visited %d, want 128", n)
+	}
+	if !bytes.Equal(first, key(500)) {
+		t.Fatalf("scan started at %q", first)
+	}
+}
+
+func TestScanPastEnd(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Put(key(i), []byte{1})
+	}
+	if n := tr.Scan(key(5), 128, func(_, _ []byte) bool { return true }); n != 5 {
+		t.Fatalf("visited %d, want 5", n)
+	}
+	if n := tr.Scan(key(100), 128, func(_, _ []byte) bool { return true }); n != 0 {
+		t.Fatalf("visited %d, want 0", n)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), []byte{1})
+	}
+	calls := 0
+	tr.Scan(key(0), 100, func(_, _ []byte) bool {
+		calls++
+		return calls < 7
+	})
+	if calls != 7 {
+		t.Fatalf("calls = %d, want 7", calls)
+	}
+}
+
+func TestEmptyTreeScan(t *testing.T) {
+	tr := New()
+	if n := tr.Scan([]byte("x"), 10, func(_, _ []byte) bool { return true }); n != 0 {
+		t.Fatal("empty tree scan should visit nothing")
+	}
+}
+
+// Property: the tree agrees with a sorted model map on Get and Scan
+// for arbitrary insertion orders.
+func TestModelEquivalenceProperty(t *testing.T) {
+	f := func(raw []uint16, scanStart uint16, scanCount uint8) bool {
+		tr := New()
+		model := map[string]string{}
+		for _, r := range raw {
+			k := fmt.Sprintf("k%05d", r)
+			v := fmt.Sprintf("v%d", r)
+			tr.Put([]byte(k), []byte(v))
+			model[k] = v
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if string(tr.Get([]byte(k))) != v {
+				return false
+			}
+		}
+		// Scan agreement.
+		keys := make([]string, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		start := fmt.Sprintf("k%05d", scanStart)
+		i := sort.SearchStrings(keys, start)
+		want := keys[i:]
+		if len(want) > int(scanCount) {
+			want = want[:scanCount]
+		}
+		var got []string
+		tr.Scan([]byte(start), int(scanCount), func(k, _ []byte) bool {
+			got = append(got, string(k))
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeRandomLoad(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(2))
+	const n = 50_000
+	perm := rng.Perm(n)
+	for _, i := range perm {
+		tr.Put(key(i), []byte(fmt.Sprintf("%d", i)))
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		j := rng.Intn(n)
+		if string(tr.Get(key(j))) != fmt.Sprintf("%d", j) {
+			t.Fatalf("Get(%d) wrong", j)
+		}
+	}
+	// Full scan is sorted and complete.
+	count := 0
+	prev := []byte(nil)
+	tr.Scan([]byte(""), n+1, func(k, _ []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatal("unsorted full scan")
+		}
+		prev = append(prev[:0], k...)
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("full scan visited %d", count)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	const n = 1 << 20
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), []byte("00000000"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i & (n - 1)))
+	}
+}
+
+func BenchmarkScan128(b *testing.B) {
+	tr := New()
+	const n = 1 << 18
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), []byte("00000000"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Scan(key(i&(n-1)), 128, func(_, _ []byte) bool { return true })
+	}
+}

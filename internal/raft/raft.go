@@ -1,0 +1,445 @@
+// Package raft implements the Raft consensus protocol (Ongaro &
+// Ousterhout, USENIX ATC 2014): leader election, log replication and
+// commitment. It substitutes for the paper's "LibRaft" (the C Raft
+// implementation from github.com/willemt/raft used in §7.1), and
+// deliberately mirrors its architecture: the core protocol is
+// transport-agnostic and talks to the outside world only through
+// send callbacks and a deliver API — which is exactly what let the
+// eRPC authors port it "without modifying the core Raft source code".
+// The eRPC binding lives in transport.go; this file has no dependency
+// on eRPC.
+package raft
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State is a Raft node's role.
+type State int
+
+// Raft roles.
+const (
+	Follower State = iota
+	Candidate
+	Leader
+)
+
+func (s State) String() string {
+	switch s {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Entry is one log entry.
+type Entry struct {
+	Term uint64
+	Data []byte
+}
+
+// Messages. The shapes follow the Raft paper's Figure 2.
+
+// RequestVote is the candidate→peer vote solicitation.
+type RequestVote struct {
+	Term         uint64
+	CandidateID  int
+	LastLogIndex uint64
+	LastLogTerm  uint64
+}
+
+// RequestVoteResp answers a RequestVote.
+type RequestVoteResp struct {
+	Term    uint64
+	From    int
+	Granted bool
+}
+
+// AppendEntries is the leader→follower replication/heartbeat message.
+type AppendEntries struct {
+	Term         uint64
+	LeaderID     int
+	PrevLogIndex uint64
+	PrevLogTerm  uint64
+	Entries      []Entry
+	LeaderCommit uint64
+}
+
+// AppendEntriesResp answers an AppendEntries.
+type AppendEntriesResp struct {
+	Term    uint64
+	From    int
+	Success bool
+	// MatchIndex is the highest replicated index on success; on
+	// failure it hints where the leader should back up to.
+	MatchIndex uint64
+}
+
+// Callbacks connect a Node to its environment — the willemt/raft
+// architecture that enables transport-independent reuse. Send*
+// transmit a message to a peer (asynchronously, unreliably: Raft
+// tolerates loss). Apply delivers a committed entry to the state
+// machine exactly once, in log order.
+type Callbacks struct {
+	SendRequestVote     func(peer int, m RequestVote)
+	SendRequestVoteResp func(peer int, m RequestVoteResp)
+	SendAppendEntries   func(peer int, m AppendEntries)
+	SendAppendResp      func(peer int, m AppendEntriesResp)
+	Apply               func(index uint64, e Entry)
+}
+
+// Config configures a Node.
+type Config struct {
+	ID    int
+	Peers []int // all node ids, including ID
+	// ElectionTimeoutTicks is the base election timeout in ticks;
+	// each node adds a deterministic spread based on its ID.
+	ElectionTimeoutTicks int
+	// HeartbeatTicks is the leader's idle heartbeat period.
+	HeartbeatTicks int
+	CB             Callbacks
+}
+
+// Node is one Raft participant. It is single-threaded: the owner
+// serializes Tick, Propose and all Handle* calls (in this repo, the
+// eRPC dispatch thread — the same threading model as LibRaft over
+// eRPC).
+type Node struct {
+	cfg   Config
+	state State
+
+	currentTerm uint64
+	votedFor    int // -1 = none
+	log         []Entry
+
+	commitIndex uint64
+	lastApplied uint64
+
+	// Leader state.
+	nextIndex  map[int]uint64
+	matchIndex map[int]uint64
+
+	// Candidate state.
+	votes map[int]bool
+
+	leaderID         int
+	ticksSinceReset  int
+	electionDeadline int
+
+	// Stats.
+	Elections uint64
+	Applied   uint64
+}
+
+// ErrNotLeader is returned by Propose on non-leaders.
+var ErrNotLeader = errors.New("raft: not leader")
+
+// NewNode creates a follower with an empty log.
+func NewNode(cfg Config) *Node {
+	if cfg.ElectionTimeoutTicks == 0 {
+		cfg.ElectionTimeoutTicks = 10
+	}
+	if cfg.HeartbeatTicks == 0 {
+		cfg.HeartbeatTicks = 1
+	}
+	n := &Node{
+		cfg:      cfg,
+		votedFor: -1,
+		leaderID: -1,
+		// Index 0 is a sentinel entry so "last log index" starts at 0.
+		log: []Entry{{Term: 0}},
+	}
+	n.resetElectionTimer()
+	return n
+}
+
+// State returns the node's role.
+func (n *Node) State() State { return n.state }
+
+// Term returns the current term.
+func (n *Node) Term() uint64 { return n.currentTerm }
+
+// Leader returns the known leader's id, or -1.
+func (n *Node) Leader() int { return n.leaderID }
+
+// CommitIndex returns the highest committed log index.
+func (n *Node) CommitIndex() uint64 { return n.commitIndex }
+
+// LastIndex returns the last log index.
+func (n *Node) LastIndex() uint64 { return uint64(len(n.log) - 1) }
+
+// EntryAt returns the log entry at index i (for tests).
+func (n *Node) EntryAt(i uint64) Entry { return n.log[i] }
+
+func (n *Node) resetElectionTimer() {
+	n.ticksSinceReset = 0
+	// Deterministic spread: base + ID-dependent offset, mirroring
+	// randomized election timeouts without nondeterminism in tests.
+	n.electionDeadline = n.cfg.ElectionTimeoutTicks + (n.cfg.ID*7)%n.cfg.ElectionTimeoutTicks
+}
+
+// Tick advances the node's logical clock: followers/candidates count
+// toward an election; leaders emit heartbeats.
+func (n *Node) Tick() {
+	n.ticksSinceReset++
+	if n.state == Leader {
+		if n.ticksSinceReset >= n.cfg.HeartbeatTicks {
+			n.ticksSinceReset = 0
+			n.broadcastAppend()
+		}
+		return
+	}
+	if n.ticksSinceReset >= n.electionDeadline {
+		n.startElection()
+	}
+}
+
+func (n *Node) startElection() {
+	n.state = Candidate
+	n.currentTerm++
+	n.votedFor = n.cfg.ID
+	n.leaderID = -1
+	n.votes = map[int]bool{n.cfg.ID: true}
+	n.Elections++
+	n.resetElectionTimer()
+	last := n.LastIndex()
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		n.cfg.CB.SendRequestVote(p, RequestVote{
+			Term:         n.currentTerm,
+			CandidateID:  n.cfg.ID,
+			LastLogIndex: last,
+			LastLogTerm:  n.log[last].Term,
+		})
+	}
+	n.maybeWinElection()
+}
+
+func (n *Node) stepDown(term uint64) {
+	n.currentTerm = term
+	n.state = Follower
+	n.votedFor = -1
+	n.votes = nil
+	n.resetElectionTimer()
+}
+
+// Propose appends a command to the leader's log and begins
+// replication. It returns the entry's log index.
+func (n *Node) Propose(data []byte) (uint64, error) {
+	if n.state != Leader {
+		return 0, ErrNotLeader
+	}
+	n.log = append(n.log, Entry{Term: n.currentTerm, Data: data})
+	idx := n.LastIndex()
+	n.matchIndex[n.cfg.ID] = idx
+	n.broadcastAppend()
+	// Single-node clusters commit immediately.
+	n.advanceCommit()
+	return idx, nil
+}
+
+func (n *Node) broadcastAppend() {
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		n.sendAppendTo(p)
+	}
+}
+
+func (n *Node) sendAppendTo(p int) {
+	next := n.nextIndex[p]
+	if next < 1 {
+		next = 1
+	}
+	prev := next - 1
+	entries := make([]Entry, len(n.log[next:]))
+	copy(entries, n.log[next:])
+	n.cfg.CB.SendAppendEntries(p, AppendEntries{
+		Term:         n.currentTerm,
+		LeaderID:     n.cfg.ID,
+		PrevLogIndex: prev,
+		PrevLogTerm:  n.log[prev].Term,
+		Entries:      entries,
+		LeaderCommit: n.commitIndex,
+	})
+}
+
+// HandleRequestVote processes a vote solicitation.
+func (n *Node) HandleRequestVote(m RequestVote) {
+	if m.Term > n.currentTerm {
+		n.stepDown(m.Term)
+	}
+	granted := false
+	if m.Term == n.currentTerm && (n.votedFor == -1 || n.votedFor == m.CandidateID) {
+		// §5.4.1 election restriction: candidate's log must be at
+		// least as up-to-date as ours.
+		last := n.LastIndex()
+		upToDate := m.LastLogTerm > n.log[last].Term ||
+			(m.LastLogTerm == n.log[last].Term && m.LastLogIndex >= last)
+		if upToDate {
+			granted = true
+			n.votedFor = m.CandidateID
+			n.resetElectionTimer()
+		}
+	}
+	n.cfg.CB.SendRequestVoteResp(m.CandidateID, RequestVoteResp{
+		Term: n.currentTerm, From: n.cfg.ID, Granted: granted,
+	})
+}
+
+// HandleRequestVoteResp processes a vote reply.
+func (n *Node) HandleRequestVoteResp(m RequestVoteResp) {
+	if m.Term > n.currentTerm {
+		n.stepDown(m.Term)
+		return
+	}
+	if n.state != Candidate || m.Term != n.currentTerm || !m.Granted {
+		return
+	}
+	n.votes[m.From] = true
+	n.maybeWinElection()
+}
+
+func (n *Node) maybeWinElection() {
+	if n.state != Candidate || len(n.votes) < len(n.cfg.Peers)/2+1 {
+		return
+	}
+	n.state = Leader
+	n.leaderID = n.cfg.ID
+	n.nextIndex = map[int]uint64{}
+	n.matchIndex = map[int]uint64{}
+	for _, p := range n.cfg.Peers {
+		n.nextIndex[p] = n.LastIndex() + 1
+		n.matchIndex[p] = 0
+	}
+	n.matchIndex[n.cfg.ID] = n.LastIndex()
+	n.ticksSinceReset = 0
+	n.broadcastAppend()
+}
+
+// HandleAppendEntries processes replication from a leader.
+func (n *Node) HandleAppendEntries(m AppendEntries) {
+	if m.Term > n.currentTerm {
+		n.stepDown(m.Term)
+	}
+	resp := AppendEntriesResp{Term: n.currentTerm, From: n.cfg.ID}
+	if m.Term < n.currentTerm {
+		n.cfg.CB.SendAppendResp(m.LeaderID, resp)
+		return
+	}
+	// Valid leader for this term.
+	n.state = Follower
+	n.leaderID = m.LeaderID
+	n.resetElectionTimer()
+
+	if m.PrevLogIndex > n.LastIndex() || n.log[m.PrevLogIndex].Term != m.PrevLogTerm {
+		// Log mismatch: reject, hint the leader to back up.
+		resp.Success = false
+		hint := m.PrevLogIndex
+		if hint > n.LastIndex() {
+			hint = n.LastIndex()
+		}
+		resp.MatchIndex = hint
+		n.cfg.CB.SendAppendResp(m.LeaderID, resp)
+		return
+	}
+	// Append, truncating conflicts (Raft log matching property).
+	idx := m.PrevLogIndex
+	for i, e := range m.Entries {
+		idx = m.PrevLogIndex + uint64(i) + 1
+		if idx <= n.LastIndex() {
+			if n.log[idx].Term != e.Term {
+				n.log = n.log[:idx]
+				n.log = append(n.log, e)
+			}
+			continue
+		}
+		n.log = append(n.log, e)
+	}
+	resp.Success = true
+	resp.MatchIndex = m.PrevLogIndex + uint64(len(m.Entries))
+	if m.LeaderCommit > n.commitIndex {
+		n.commitIndex = min64(m.LeaderCommit, n.LastIndex())
+		n.applyCommitted()
+	}
+	n.cfg.CB.SendAppendResp(m.LeaderID, resp)
+}
+
+// HandleAppendResp processes a follower's replication ack.
+func (n *Node) HandleAppendResp(m AppendEntriesResp) {
+	if m.Term > n.currentTerm {
+		n.stepDown(m.Term)
+		return
+	}
+	if n.state != Leader || m.Term != n.currentTerm {
+		return
+	}
+	if !m.Success {
+		// Back up and retry immediately.
+		ni := m.MatchIndex + 1
+		if ni < 1 {
+			ni = 1
+		}
+		if ni < n.nextIndex[m.From] {
+			n.nextIndex[m.From] = ni
+		} else if n.nextIndex[m.From] > 1 {
+			n.nextIndex[m.From]--
+		}
+		n.sendAppendTo(m.From)
+		return
+	}
+	if m.MatchIndex > n.matchIndex[m.From] {
+		n.matchIndex[m.From] = m.MatchIndex
+		n.nextIndex[m.From] = m.MatchIndex + 1
+	}
+	n.advanceCommit()
+}
+
+// advanceCommit commits the highest index replicated on a majority
+// whose entry is from the current term (Raft §5.4.2).
+func (n *Node) advanceCommit() {
+	if n.state != Leader {
+		return
+	}
+	for idx := n.LastIndex(); idx > n.commitIndex; idx-- {
+		if n.log[idx].Term != n.currentTerm {
+			break
+		}
+		count := 0
+		for _, p := range n.cfg.Peers {
+			if n.matchIndex[p] >= idx {
+				count++
+			}
+		}
+		if count >= len(n.cfg.Peers)/2+1 {
+			n.commitIndex = idx
+			n.applyCommitted()
+			break
+		}
+	}
+}
+
+func (n *Node) applyCommitted() {
+	for n.lastApplied < n.commitIndex {
+		n.lastApplied++
+		n.Applied++
+		if n.cfg.CB.Apply != nil {
+			n.cfg.CB.Apply(n.lastApplied, n.log[n.lastApplied])
+		}
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,231 @@
+package raft
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// This file is the eRPC binding for the Raft core — the moral
+// equivalent of the ~100 lines of callback glue the paper wrote to run
+// LibRaft over eRPC (§7.1: "porting to eRPC required no changes to
+// LibRaft's code"). Raft messages travel as small RPCs whose response
+// is an empty ack; protocol-level replies (votes, append acks) are
+// sent as their own RPCs in the reverse direction, which preserves the
+// paper's latency profile (a follower's ack reaches the leader one
+// half-RTT after the AppendEntries, exactly like a response would).
+
+// Request types used on the wire by the Raft binding.
+const (
+	ReqVote       uint8 = 10
+	ReqVoteResp   uint8 = 11
+	ReqAppend     uint8 = 12
+	ReqAppendResp uint8 = 13
+)
+
+// Peer binds a Raft node id to an eRPC session.
+type Peer struct {
+	ID      int
+	Session *core.Session
+}
+
+// Endpoint runs one Raft replica over an eRPC endpoint.
+type Endpoint struct {
+	Node  *Node
+	rpc   *core.Rpc
+	peers map[int]*core.Session
+
+	TickEvery sim.Time
+	sched     *sim.Scheduler
+	stopped   bool
+
+	// MsgsSent counts outgoing Raft messages.
+	MsgsSent uint64
+}
+
+// registry maps an Rpc endpoint to its Raft replica so that shared
+// Nexus handlers can dispatch; all access is from dispatch contexts.
+var registry = map[*core.Rpc]*Endpoint{}
+
+// RegisterHandlers installs the four Raft message handlers on a Nexus.
+// Call once per Nexus before creating endpoints.
+func RegisterHandlers(nx *core.Nexus) {
+	h := func(fn func(*Endpoint, []byte)) core.Handler {
+		return core.Handler{Fn: func(ctx *core.ReqContext) {
+			if ep := registry[ctx.Rpc()]; ep != nil {
+				fn(ep, ctx.Req)
+			}
+			ctx.AllocResponse(0)
+			ctx.EnqueueResponse()
+		}}
+	}
+	nx.Register(ReqVote, h(func(ep *Endpoint, b []byte) {
+		ep.Node.HandleRequestVote(decodeRequestVote(b))
+	}))
+	nx.Register(ReqVoteResp, h(func(ep *Endpoint, b []byte) {
+		ep.Node.HandleRequestVoteResp(decodeRequestVoteResp(b))
+	}))
+	nx.Register(ReqAppend, h(func(ep *Endpoint, b []byte) {
+		ep.Node.HandleAppendEntries(decodeAppendEntries(b))
+	}))
+	nx.Register(ReqAppendResp, h(func(ep *Endpoint, b []byte) {
+		ep.Node.HandleAppendResp(decodeAppendEntriesResp(b))
+	}))
+}
+
+// NewEndpoint wires a Raft node onto rpc with sessions to its peers.
+// cfg.CB send callbacks are installed here — the Raft core is not
+// modified (the LibRaft porting property).
+func NewEndpoint(rpc *core.Rpc, sched *sim.Scheduler, cfg Config, peers []Peer) *Endpoint {
+	ep := &Endpoint{
+		rpc:       rpc,
+		peers:     map[int]*core.Session{},
+		TickEvery: 100 * sim.Microsecond,
+		sched:     sched,
+	}
+	for _, p := range peers {
+		ep.peers[p.ID] = p.Session
+	}
+	cfg.CB.SendRequestVote = func(p int, m RequestVote) { ep.send(p, ReqVote, encodeRequestVote(m)) }
+	cfg.CB.SendRequestVoteResp = func(p int, m RequestVoteResp) { ep.send(p, ReqVoteResp, encodeRequestVoteResp(m)) }
+	cfg.CB.SendAppendEntries = func(p int, m AppendEntries) { ep.send(p, ReqAppend, encodeAppendEntries(m)) }
+	cfg.CB.SendAppendResp = func(p int, m AppendEntriesResp) { ep.send(p, ReqAppendResp, encodeAppendEntriesResp(m)) }
+	ep.Node = NewNode(cfg)
+	registry[rpc] = ep
+	return ep
+}
+
+// Start begins the tick loop.
+func (ep *Endpoint) Start() {
+	var tick func()
+	tick = func() {
+		if ep.stopped {
+			return
+		}
+		ep.Node.Tick()
+		ep.sched.After(ep.TickEvery, tick)
+	}
+	ep.sched.After(ep.TickEvery, tick)
+}
+
+// Stop halts the tick loop.
+func (ep *Endpoint) Stop() { ep.stopped = true }
+
+// send transmits one Raft message as an RPC with an empty response.
+func (ep *Endpoint) send(peer int, reqType uint8, payload []byte) {
+	sess := ep.peers[peer]
+	if sess == nil {
+		return
+	}
+	ep.MsgsSent++
+	req := ep.rpc.Alloc(len(payload))
+	copy(req.Data(), payload)
+	resp := ep.rpc.Alloc(16)
+	ep.rpc.EnqueueRequest(sess, reqType, req, resp, func(error) {
+		ep.rpc.Free(req)
+		ep.rpc.Free(resp)
+	})
+}
+
+// Wire encoding: fixed-width little-endian fields; AppendEntries
+// carries a length-prefixed entry list.
+
+func encodeRequestVote(m RequestVote) []byte {
+	b := make([]byte, 28)
+	binary.LittleEndian.PutUint64(b[0:], m.Term)
+	binary.LittleEndian.PutUint32(b[8:], uint32(m.CandidateID))
+	binary.LittleEndian.PutUint64(b[12:], m.LastLogIndex)
+	binary.LittleEndian.PutUint64(b[20:], m.LastLogTerm)
+	return b
+}
+
+func decodeRequestVote(b []byte) RequestVote {
+	return RequestVote{
+		Term:         binary.LittleEndian.Uint64(b[0:]),
+		CandidateID:  int(binary.LittleEndian.Uint32(b[8:])),
+		LastLogIndex: binary.LittleEndian.Uint64(b[12:]),
+		LastLogTerm:  binary.LittleEndian.Uint64(b[20:]),
+	}
+}
+
+func encodeRequestVoteResp(m RequestVoteResp) []byte {
+	b := make([]byte, 13)
+	binary.LittleEndian.PutUint64(b[0:], m.Term)
+	binary.LittleEndian.PutUint32(b[8:], uint32(m.From))
+	if m.Granted {
+		b[12] = 1
+	}
+	return b
+}
+
+func decodeRequestVoteResp(b []byte) RequestVoteResp {
+	return RequestVoteResp{
+		Term:    binary.LittleEndian.Uint64(b[0:]),
+		From:    int(binary.LittleEndian.Uint32(b[8:])),
+		Granted: b[12] == 1,
+	}
+}
+
+func encodeAppendEntries(m AppendEntries) []byte {
+	n := 40
+	for _, e := range m.Entries {
+		n += 12 + len(e.Data)
+	}
+	b := make([]byte, n)
+	binary.LittleEndian.PutUint64(b[0:], m.Term)
+	binary.LittleEndian.PutUint32(b[8:], uint32(m.LeaderID))
+	binary.LittleEndian.PutUint64(b[12:], m.PrevLogIndex)
+	binary.LittleEndian.PutUint64(b[20:], m.PrevLogTerm)
+	binary.LittleEndian.PutUint64(b[28:], m.LeaderCommit)
+	binary.LittleEndian.PutUint32(b[36:], uint32(len(m.Entries)))
+	off := 40
+	for _, e := range m.Entries {
+		binary.LittleEndian.PutUint64(b[off:], e.Term)
+		binary.LittleEndian.PutUint32(b[off+8:], uint32(len(e.Data)))
+		copy(b[off+12:], e.Data)
+		off += 12 + len(e.Data)
+	}
+	return b
+}
+
+func decodeAppendEntries(b []byte) AppendEntries {
+	m := AppendEntries{
+		Term:         binary.LittleEndian.Uint64(b[0:]),
+		LeaderID:     int(binary.LittleEndian.Uint32(b[8:])),
+		PrevLogIndex: binary.LittleEndian.Uint64(b[12:]),
+		PrevLogTerm:  binary.LittleEndian.Uint64(b[20:]),
+		LeaderCommit: binary.LittleEndian.Uint64(b[28:]),
+	}
+	count := int(binary.LittleEndian.Uint32(b[36:]))
+	off := 40
+	for i := 0; i < count; i++ {
+		term := binary.LittleEndian.Uint64(b[off:])
+		dl := int(binary.LittleEndian.Uint32(b[off+8:]))
+		data := make([]byte, dl)
+		copy(data, b[off+12:off+12+dl])
+		m.Entries = append(m.Entries, Entry{Term: term, Data: data})
+		off += 12 + dl
+	}
+	return m
+}
+
+func encodeAppendEntriesResp(m AppendEntriesResp) []byte {
+	b := make([]byte, 21)
+	binary.LittleEndian.PutUint64(b[0:], m.Term)
+	binary.LittleEndian.PutUint32(b[8:], uint32(m.From))
+	if m.Success {
+		b[12] = 1
+	}
+	binary.LittleEndian.PutUint64(b[13:], m.MatchIndex)
+	return b
+}
+
+func decodeAppendEntriesResp(b []byte) AppendEntriesResp {
+	return AppendEntriesResp{
+		Term:       binary.LittleEndian.Uint64(b[0:]),
+		From:       int(binary.LittleEndian.Uint32(b[8:])),
+		Success:    b[12] == 1,
+		MatchIndex: binary.LittleEndian.Uint64(b[13:]),
+	}
+}

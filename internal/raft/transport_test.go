@@ -1,0 +1,188 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// erpcGroup wires a 3-node Raft group over eRPC on the simulated CX5
+// fabric — the §7.1 configuration.
+type erpcGroup struct {
+	sched   *sim.Scheduler
+	eps     []*Endpoint
+	applied [][]string
+}
+
+func newErpcGroup(t *testing.T, lossRate float64) *erpcGroup {
+	t.Helper()
+	sched := sim.NewScheduler(3)
+	fab, err := simnet.New(sched, simnet.Config{
+		Profile:  simnet.CX5(),
+		Topology: simnet.SingleSwitch(3),
+		LossRate: lossRate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nx := core.NewNexus()
+	RegisterHandlers(nx)
+	prof := simnet.CX5()
+	rpcs := make([]*core.Rpc, 3)
+	for i := range rpcs {
+		rpcs[i] = core.NewRpc(nx, core.Config{
+			Transport: fab.AttachEndpoint(i), Clock: sched, Sched: sched,
+			LinkRateGbps: prof.LinkGbps, CPUScale: prof.CPUScale,
+		})
+	}
+	g := &erpcGroup{sched: sched, applied: make([][]string, 3)}
+	for i := 0; i < 3; i++ {
+		var peers []Peer
+		for j := 0; j < 3; j++ {
+			if j == i {
+				continue
+			}
+			sess, err := rpcs[i].CreateSession(rpcs[j].LocalAddr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			peers = append(peers, Peer{ID: j, Session: sess})
+		}
+		cfg := Config{ID: i, Peers: []int{0, 1, 2}}
+		i := i
+		cfg.CB.Apply = func(_ uint64, e Entry) {
+			g.applied[i] = append(g.applied[i], string(e.Data))
+		}
+		ep := NewEndpoint(rpcs[i], sched, cfg, peers)
+		g.eps = append(g.eps, ep)
+		ep.Start()
+	}
+	return g
+}
+
+func (g *erpcGroup) leader() *Endpoint {
+	for _, ep := range g.eps {
+		if ep.Node.State() == Leader {
+			return ep
+		}
+	}
+	return nil
+}
+
+func (g *erpcGroup) waitLeader(t *testing.T) *Endpoint {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		g.sched.RunUntil(g.sched.Now() + sim.Millisecond)
+		if l := g.leader(); l != nil {
+			return l
+		}
+	}
+	t.Fatal("no leader over eRPC")
+	return nil
+}
+
+func TestRaftOverErpcElectsAndReplicates(t *testing.T) {
+	g := newErpcGroup(t, 0)
+	l := g.waitLeader(t)
+	for i := 0; i < 20; i++ {
+		if _, err := l.Node.Propose([]byte(fmt.Sprintf("cmd-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		g.sched.RunUntil(g.sched.Now() + 100*sim.Microsecond)
+	}
+	g.sched.RunUntil(g.sched.Now() + 5*sim.Millisecond)
+	for i, seq := range g.applied {
+		if len(seq) != 20 {
+			t.Fatalf("node %d applied %d of 20", i, len(seq))
+		}
+		for j, cmd := range seq {
+			if cmd != fmt.Sprintf("cmd-%d", j) {
+				t.Fatalf("node %d applied %q at %d", i, cmd, j)
+			}
+		}
+	}
+	if l.MsgsSent == 0 {
+		t.Fatal("no Raft messages went over eRPC")
+	}
+}
+
+func TestRaftOverErpcCommitLatencyIsMicroseconds(t *testing.T) {
+	g := newErpcGroup(t, 0)
+	l := g.waitLeader(t)
+	g.sched.RunUntil(g.sched.Now() + sim.Millisecond)
+	start := g.sched.Now()
+	idx, err := l.Node.Propose([]byte("timed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l.Node.CommitIndex() < idx {
+		if !g.sched.Step() {
+			t.Fatal("simulation drained before commit")
+		}
+	}
+	lat := g.sched.Now() - start
+	// §7.1: ~3.1 µs leader commit latency on CX5.
+	if lat < sim.Microsecond || lat > 10*sim.Microsecond {
+		t.Fatalf("commit latency = %v, want ~3 µs", lat)
+	}
+}
+
+func TestRaftOverErpcSurvivesPacketLoss(t *testing.T) {
+	g := newErpcGroup(t, 0.02)
+	l := g.waitLeader(t)
+	for i := 0; i < 30; i++ {
+		// Leadership can churn under loss; always propose on the
+		// current leader.
+		if cur := g.leader(); cur != nil {
+			l = cur
+			l.Node.Propose([]byte(fmt.Sprintf("lossy-%d", i)))
+		}
+		g.sched.RunUntil(g.sched.Now() + 500*sim.Microsecond)
+	}
+	g.sched.RunUntil(g.sched.Now() + 50*sim.Millisecond)
+	// All replicas applied identical prefixes and most commands
+	// committed (eRPC's go-back-N recovers the Raft traffic).
+	minApplied := 1 << 30
+	for _, seq := range g.applied {
+		if len(seq) < minApplied {
+			minApplied = len(seq)
+		}
+	}
+	if minApplied < 20 {
+		t.Fatalf("only %d commands applied everywhere under loss", minApplied)
+	}
+	for i := 1; i < 3; i++ {
+		for j := 0; j < minApplied; j++ {
+			if g.applied[i][j] != g.applied[0][j] {
+				t.Fatalf("state machine divergence at %d", j)
+			}
+		}
+	}
+}
+
+func TestWireEncodingRoundtrip(t *testing.T) {
+	rv := RequestVote{Term: 7, CandidateID: 2, LastLogIndex: 9, LastLogTerm: 6}
+	if decodeRequestVote(encodeRequestVote(rv)) != rv {
+		t.Fatal("RequestVote roundtrip")
+	}
+	rvr := RequestVoteResp{Term: 7, From: 1, Granted: true}
+	if decodeRequestVoteResp(encodeRequestVoteResp(rvr)) != rvr {
+		t.Fatal("RequestVoteResp roundtrip")
+	}
+	ae := AppendEntries{
+		Term: 3, LeaderID: 0, PrevLogIndex: 4, PrevLogTerm: 2, LeaderCommit: 4,
+		Entries: []Entry{{Term: 3, Data: []byte("a")}, {Term: 3, Data: []byte("bc")}},
+	}
+	got := decodeAppendEntries(encodeAppendEntries(ae))
+	if got.Term != ae.Term || len(got.Entries) != 2 ||
+		string(got.Entries[1].Data) != "bc" || got.LeaderCommit != 4 {
+		t.Fatalf("AppendEntries roundtrip: %+v", got)
+	}
+	aer := AppendEntriesResp{Term: 3, From: 2, Success: true, MatchIndex: 6}
+	if decodeAppendEntriesResp(encodeAppendEntriesResp(aer)) != aer {
+		t.Fatal("AppendEntriesResp roundtrip")
+	}
+}

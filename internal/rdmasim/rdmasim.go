@@ -1,0 +1,151 @@
+// Package rdmasim models an RDMA NIC baseline: one-sided verbs
+// executed entirely by the NIC, with connection state cached in NIC
+// SRAM. It substitutes for the paper's RDMA measurements (Figure 1's
+// connection scalability, Table 2's read latency, Figure 6's write
+// bandwidth).
+//
+// The scalability model follows §4.1.2: each connection needs ≈375 B
+// of NIC state, the NIC has ≈2 MB of SRAM shared with other
+// structures, and cache misses are served over PCIe from host memory.
+// Figure 1's curve is regenerated with a Monte-Carlo LRU cache
+// simulation over uniformly random connection accesses.
+package rdmasim
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// NIC models one RDMA-capable NIC.
+type NIC struct {
+	Prof simnet.Profile
+
+	// ConnCacheConns is the number of connections whose state fits in
+	// the usable share of NIC SRAM. §4.1.2: ~2 MB SRAM at ~375
+	// B/connection shared with queues and other structures; conflict
+	// misses make the effective capacity lower than 2 MB/375 B.
+	ConnCacheConns int
+	// BaseOp is the NIC's per-op processing time with a cache hit.
+	BaseOp sim.Time
+	// MissPenalty is the added (pipelined) cost of fetching
+	// connection state over PCIe on a cache miss.
+	MissPenalty sim.Time
+}
+
+// New returns a NIC model calibrated against the paper's ConnectX-5
+// measurements: ≈47 M reads/s with few connections, ≈50% throughput
+// lost at 5000 connections (Figure 1).
+func New(prof simnet.Profile) *NIC {
+	return &NIC{
+		Prof:           prof,
+		ConnCacheConns: 1024,
+		BaseOp:         21 * sim.Nanosecond,
+		MissPenalty:    27 * sim.Nanosecond,
+	}
+}
+
+// ReadRate simulates issuing small (16 B) RDMA reads on uniformly
+// random connections out of conns total, and returns the sustained
+// rate in M ops/s. The connection-state cache is simulated as an LRU
+// of ConnCacheConns entries (Figure 1's experiment).
+func (n *NIC) ReadRate(rng *rand.Rand, conns int) float64 {
+	if conns < 1 {
+		conns = 1
+	}
+	const ops = 200_000
+	hits := n.simulateLRU(rng, conns, ops)
+	missProb := 1 - float64(hits)/float64(ops)
+	avgOp := float64(n.BaseOp) + missProb*float64(n.MissPenalty)
+	return 1e3 / avgOp // ns/op → M ops/s
+}
+
+// simulateLRU counts cache hits for ops random accesses over conns
+// keys with an LRU of capacity ConnCacheConns.
+func (n *NIC) simulateLRU(rng *rand.Rand, conns, ops int) int {
+	cap := n.ConnCacheConns
+	if conns <= cap {
+		return ops // everything fits; compulsory misses are negligible
+	}
+	// Doubly-linked LRU over a fixed arena.
+	type node struct{ prev, next, key int }
+	nodes := make([]node, cap)
+	where := make(map[int]int, cap) // key → node index
+	// Initialize with keys 0..cap-1.
+	for i := range nodes {
+		nodes[i] = node{prev: i - 1, next: i + 1, key: i}
+		where[i] = i
+	}
+	head, tail := 0, cap-1
+	nodes[head].prev = -1
+	nodes[tail].next = -1
+	moveFront := func(i int) {
+		if i == head {
+			return
+		}
+		p, nx := nodes[i].prev, nodes[i].next
+		if p >= 0 {
+			nodes[p].next = nx
+		}
+		if nx >= 0 {
+			nodes[nx].prev = p
+		}
+		if i == tail {
+			tail = p
+		}
+		nodes[i].prev = -1
+		nodes[i].next = head
+		nodes[head].prev = i
+		head = i
+	}
+	hits := 0
+	for op := 0; op < ops; op++ {
+		key := rng.Intn(conns)
+		if i, ok := where[key]; ok {
+			hits++
+			moveFront(i)
+			continue
+		}
+		// Evict LRU (tail), reuse its node.
+		i := tail
+		delete(where, nodes[i].key)
+		nodes[i].key = key
+		where[key] = i
+		moveFront(i)
+	}
+	return hits
+}
+
+// oneWay is the wire latency of a small packet between two hosts under
+// the same switch: NIC pipeline + serialization + propagation +
+// switch + propagation + NIC pipeline.
+func oneWay(p simnet.Profile, wireBytes int) sim.Time {
+	ser := sim.Time(float64(wireBytes) * 8 / p.LinkGbps)
+	return p.NICTxDelay + ser + p.PropDelay + p.SwitchLatency + ser + p.PropDelay + p.NICRxDelay
+}
+
+// ReadLatency returns the median latency of an RDMA read of payload
+// bytes between two same-ToR hosts (Table 2's RDMA rows): a request
+// packet to the responder NIC, remote-NIC processing (DMA read), and
+// the payload back. No CPU is involved on either side.
+func (n *NIC) ReadLatency(payload int) sim.Time {
+	req := oneWay(n.Prof, 30+n.Prof.WireOverhead) // ~30 B read request
+	resp := oneWay(n.Prof, payload+n.Prof.WireOverhead)
+	return req + n.Prof.RDMAProc + resp
+}
+
+// WriteGoodput returns the goodput in Gbps of R-byte RDMA writes with
+// one message outstanding — the same experimental setup as the eRPC
+// side of Figure 6 (§6.4: "the client ... keeps one request
+// outstanding"). Each write pays one-way wire latency, the message's
+// serialization time, and remote NIC processing; large writes converge
+// to line rate minus framing overhead.
+func (n *NIC) WriteGoodput(msg int) float64 {
+	mtuData := n.Prof.DataPerPkt()
+	frames := (msg + mtuData - 1) / mtuData
+	wireBytes := msg + frames*(16+n.Prof.WireOverhead)
+	ser := float64(wireBytes) * 8 / n.Prof.LinkGbps // ns
+	lat := float64(oneWay(n.Prof, 64) + n.Prof.RDMAProc)
+	return float64(msg) * 8 / (ser + lat)
+}

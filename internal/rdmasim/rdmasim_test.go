@@ -1,0 +1,91 @@
+package rdmasim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+func TestReadRateDeclinesWithConnections(t *testing.T) {
+	n := New(simnet.CX5())
+	rng := rand.New(rand.NewSource(1))
+	few := n.ReadRate(rng, 100)
+	mid := n.ReadRate(rng, 2000)
+	many := n.ReadRate(rng, 5000)
+	if !(few > mid && mid > many) {
+		t.Fatalf("rate should decline: %v, %v, %v", few, mid, many)
+	}
+	// Paper Figure 1: ~47 M/s with few connections, ≈50% lost at 5000.
+	if few < 40 || few > 55 {
+		t.Fatalf("small-scale rate = %.1f M/s, want ≈47", few)
+	}
+	if many > 0.65*few {
+		t.Fatalf("5000-conn rate %.1f should be ≈50%% of %.1f", many, few)
+	}
+}
+
+func TestReadRateFlatWithinCache(t *testing.T) {
+	n := New(simnet.CX5())
+	rng := rand.New(rand.NewSource(1))
+	a := n.ReadRate(rng, 10)
+	b := n.ReadRate(rng, 1000)
+	if a != b {
+		t.Fatalf("within-cache rates should be identical: %v vs %v", a, b)
+	}
+}
+
+func TestLRUSimulatorHitRate(t *testing.T) {
+	n := New(simnet.CX5())
+	n.ConnCacheConns = 100
+	rng := rand.New(rand.NewSource(7))
+	hits := n.simulateLRU(rng, 200, 100_000)
+	// Uniform access over 200 keys with a 100-entry LRU: hit rate
+	// ≈ cap/conns = 50%.
+	frac := float64(hits) / 100_000
+	if frac < 0.45 || frac < 0 || frac > 0.55 {
+		t.Fatalf("LRU hit rate = %.3f, want ≈0.5", frac)
+	}
+}
+
+func TestReadLatencyMatchesTable2(t *testing.T) {
+	// Table 2: RDMA read median latency CX3=1.7µs, CX4=2.9µs, CX5=2.0µs.
+	cases := []struct {
+		prof simnet.Profile
+		want sim.Time
+		tol  sim.Time
+	}{
+		{simnet.CX3(), 1700, 400},
+		{simnet.CX4(), 2900, 500},
+		{simnet.CX5(), 2000, 400},
+	}
+	for _, c := range cases {
+		got := New(c.prof).ReadLatency(32)
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("%s: RDMA read latency = %v, want %v ± %v", c.prof.Name, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestWriteGoodputShape(t *testing.T) {
+	n := New(simnet.CX5IB100())
+	small := n.WriteGoodput(512)
+	big := n.WriteGoodput(8 << 20)
+	if small >= big {
+		t.Fatalf("small writes (%f) should be op-limited below large (%f)", small, big)
+	}
+	// Large writes: ≥90% of the 100 Gbps line (Figure 6: ~97 Gbps).
+	if big < 90 || big > 100 {
+		t.Fatalf("8MB write goodput = %.1f Gbps, want ≈95", big)
+	}
+	// Monotone non-decreasing in message size.
+	prev := 0.0
+	for sz := 512; sz <= 8<<20; sz *= 2 {
+		g := n.WriteGoodput(sz)
+		if g+1e-9 < prev {
+			t.Fatalf("goodput not monotone at %d: %f < %f", sz, g, prev)
+		}
+		prev = g
+	}
+}

@@ -1,0 +1,211 @@
+// Package sim provides a deterministic discrete-event scheduler and
+// virtual clock. All simulated components (network fabric, NICs, RPC
+// endpoints, CPU models) run on a single goroutine driven by the
+// scheduler, which makes experiments reproducible: the same seed always
+// yields the same packet interleaving.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since simulation start.
+type Time int64
+
+// Common durations, mirroring time.Duration's units but on the virtual
+// clock.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Duration converts a virtual time span to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Clock exposes the current time. Both the virtual scheduler and a
+// wall-clock implementation satisfy it, so library code can run in
+// either mode.
+type Clock interface {
+	Now() Time
+}
+
+// WallClock is a Clock backed by the real monotonic clock.
+type WallClock struct{ start time.Time }
+
+// NewWallClock returns a Clock whose zero point is now.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now implements Clock.
+func (w *WallClock) Now() Time { return Time(time.Since(w.start)) }
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break for determinism: FIFO among same-time events
+	fn  func()
+	idx int // heap index; -1 once popped or cancelled
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// Scheduler is a discrete-event executor with a virtual clock.
+// The zero value is not usable; call NewScheduler.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	rng     *rand.Rand
+	stopped bool
+	// Processed counts executed events (for diagnostics and tests).
+	Processed uint64
+}
+
+// NewScheduler returns a scheduler with its clock at zero and a
+// deterministic RNG derived from seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now implements Clock.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand returns the scheduler's deterministic RNG. All randomness in a
+// simulation must come from here to preserve reproducibility.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past runs the event at the current time (never before: the clock is
+// monotonic).
+func (s *Scheduler) At(t Time, fn func()) EventID {
+	if fn == nil {
+		panic("sim: At called with nil fn")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.pq, ev)
+	return EventID{ev: ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (s *Scheduler) After(d Time, fn func()) EventID {
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op and returns false.
+func (s *Scheduler) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&s.pq, ev.idx)
+	ev.idx = -1
+	ev.fn = nil
+	return true
+}
+
+// Pending reports the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.pq) }
+
+// Stop makes the current Run/RunUntil call return after the in-flight
+// event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// RunUntil executes events in timestamp order until the queue is empty
+// or the next event is after deadline. The clock is left at the later
+// of its current value and deadline if the queue drained, otherwise at
+// the time of the last executed event.
+func (s *Scheduler) RunUntil(deadline Time) {
+	s.stopped = false
+	for len(s.pq) > 0 && !s.stopped {
+		ev := s.pq[0]
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&s.pq)
+		ev.idx = -1
+		s.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		s.Processed++
+	}
+	if s.now < deadline && !s.stopped {
+		s.now = deadline
+	}
+}
+
+// Run executes events until the queue is empty.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for len(s.pq) > 0 && !s.stopped {
+		ev := s.pq[0]
+		heap.Pop(&s.pq)
+		ev.idx = -1
+		s.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		s.Processed++
+	}
+}
+
+// Step executes exactly one event and returns true, or returns false if
+// the queue is empty.
+func (s *Scheduler) Step() bool {
+	if len(s.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.pq).(*event)
+	ev.idx = -1
+	s.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	fn()
+	s.Processed++
+	return true
+}
+
+func (s *Scheduler) String() string {
+	return fmt.Sprintf("sim.Scheduler{now=%v pending=%d processed=%d}", s.now, len(s.pq), s.Processed)
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,393 @@
+// Package simnet is a discrete-event simulator of a datacenter network
+// fabric. It substitutes for the paper's measurement clusters (Table
+// 1): hosts with NICs, two-layer ToR/spine topologies, links with
+// bandwidth and propagation delay, and cut-through switches with a
+// *shared dynamic buffer pool* — the property ("switch buffer ≫ BDP",
+// paper §2.1) that eRPC's BDP flow control relies on.
+//
+// The fabric implements transport.Transport for each attached
+// endpoint, so the eRPC core runs unmodified on it. Everything
+// executes on one sim.Scheduler goroutine; runs are deterministic for
+// a given seed.
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Topology describes the switch fabric shape.
+type Topology struct {
+	NumToRs     int // top-of-rack switches
+	NodesPerToR int // hosts per ToR
+	NumSpines   int // spine switches; 0 means a single-switch network (NumToRs must be 1)
+}
+
+// Nodes returns the host capacity of the topology.
+func (t Topology) Nodes() int { return t.NumToRs * t.NodesPerToR }
+
+func (t Topology) validate() error {
+	if t.NumToRs <= 0 || t.NodesPerToR <= 0 {
+		return fmt.Errorf("simnet: bad topology %+v", t)
+	}
+	if t.NumToRs > 1 && t.NumSpines <= 0 {
+		return fmt.Errorf("simnet: multi-ToR topology needs spines: %+v", t)
+	}
+	return nil
+}
+
+// Config configures a Fabric.
+type Config struct {
+	Profile  Profile
+	Topology Topology
+	// LossRate injects uniform random packet loss (Table 4).
+	LossRate float64
+	// ReorderRate delays a packet by an extra random amount, causing
+	// reordering (eRPC treats reordered packets as lost, §5.3).
+	ReorderRate float64
+	// RQCap bounds each endpoint's receive queue in packets; 0 means
+	// DefaultRQCap. Overflow drops model an empty NIC RQ (§4.1.1).
+	RQCap int
+	// Jitter adds uniform [0, Jitter) delivery-time noise per packet,
+	// modeling the µs-scale RTT variation of loaded real networks
+	// (NIC batching, PCIe and scheduling jitter). Timely's gradient
+	// detector requires this noise to regulate a saturated queue; the
+	// congestion-control experiments enable it, latency-calibration
+	// experiments leave it at 0. See DESIGN.md §6.
+	Jitter sim.Time
+}
+
+// DefaultRQCap is the default per-endpoint receive-queue capacity,
+// sized like the multi-packet RQs of §4.1.1 / Appendix A.
+const DefaultRQCap = 8192
+
+// Stats counts fabric-wide events.
+type Stats struct {
+	Delivered      uint64
+	BytesDelivered uint64
+	DroppedBuffer  uint64 // switch shared-buffer overflow
+	DroppedLoss    uint64 // injected loss
+	DroppedRQ      uint64 // endpoint receive-queue overflow
+	Reordered      uint64
+}
+
+// Fabric is the simulated network.
+type Fabric struct {
+	sched *sim.Scheduler
+	cfg   Config
+	tors  []*swtch
+	spine []*swtch
+	nics  []*nic
+	Stats Stats
+}
+
+// New builds a fabric on the given scheduler.
+func New(sched *sim.Scheduler, cfg Config) (*Fabric, error) {
+	if err := cfg.Topology.validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Profile.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RQCap == 0 {
+		cfg.RQCap = DefaultRQCap
+	}
+	f := &Fabric{sched: sched, cfg: cfg}
+	for i := 0; i < cfg.Topology.NumToRs; i++ {
+		// ToR ports: one downlink per node + one uplink per spine.
+		f.tors = append(f.tors, newSwitch(cfg.Topology.NodesPerToR+cfg.Topology.NumSpines, cfg.Profile))
+	}
+	for i := 0; i < cfg.Topology.NumSpines; i++ {
+		// Spine ports: one per ToR.
+		f.spine = append(f.spine, newSwitch(cfg.Topology.NumToRs, cfg.Profile))
+	}
+	f.nics = make([]*nic, cfg.Topology.Nodes())
+	for i := range f.nics {
+		f.nics[i] = &nic{}
+	}
+	return f, nil
+}
+
+// Scheduler returns the fabric's scheduler.
+func (f *Fabric) Scheduler() *sim.Scheduler { return f.sched }
+
+// Profile returns the active cluster profile.
+func (f *Fabric) Profile() Profile { return f.cfg.Profile }
+
+// AttachEndpoint creates a new endpoint (one per Rpc dispatch thread)
+// on the given node and returns its transport.
+func (f *Fabric) AttachEndpoint(node int) *Endpoint {
+	if node < 0 || node >= len(f.nics) {
+		panic(fmt.Sprintf("simnet: node %d out of range [0,%d)", node, len(f.nics)))
+	}
+	n := f.nics[node]
+	ep := &Endpoint{
+		fab:  f,
+		addr: transport.Addr{Node: uint16(node), Port: uint16(len(n.endpoints))},
+	}
+	n.endpoints = append(n.endpoints, ep)
+	return ep
+}
+
+// nic models a host NIC: endpoints share one egress link.
+type nic struct {
+	txFree    sim.Time // time the egress link becomes free
+	endpoints []*Endpoint
+}
+
+// swtch is a cut-through switch with a shared dynamic buffer.
+type swtch struct {
+	prof  Profile
+	used  int // shared buffer bytes in use
+	ports []port
+}
+
+type port struct {
+	free   sim.Time // time the egress link becomes free
+	queued int      // bytes queued on this port
+}
+
+func newSwitch(nports int, prof Profile) *swtch {
+	return &swtch{prof: prof, ports: make([]port, nports)}
+}
+
+// admit applies the dynamic-threshold admission rule: a port may queue
+// up to alpha × (free shared buffer). Returns false to drop.
+func (s *swtch) admit(portIdx, bytes int) bool {
+	if s.prof.Lossless {
+		return true // PFC-style lossless fabric: sender paced, never dropped
+	}
+	p := &s.ports[portIdx]
+	free := s.prof.SwitchBufBytes - s.used
+	if float64(p.queued+bytes) > s.prof.DTAlpha*float64(free) {
+		return false
+	}
+	return true
+}
+
+func ser(bytes int, gbps float64) sim.Time {
+	return sim.Time(float64(bytes) * 8 / gbps)
+}
+
+// wireBytes is the on-the-wire size of a frame including layer-2/3/4
+// overhead (the paper counts a 32 B RPC as a 92 B packet).
+func (f *Fabric) wireBytes(frameLen int) int {
+	return frameLen + f.cfg.Profile.WireOverhead
+}
+
+type simPkt struct {
+	buf  []byte
+	from transport.Addr
+	to   transport.Addr
+	hash uint32
+}
+
+// send launches a frame into the fabric from src.
+func (f *Fabric) send(src *Endpoint, dst transport.Addr, frame []byte) {
+	prof := f.cfg.Profile
+	if len(frame) > prof.MTU {
+		return // oversize frames are dropped, like a real NIC
+	}
+	buf := make([]byte, len(frame))
+	copy(buf, frame)
+	pkt := &simPkt{buf: buf, from: src.addr, to: dst, hash: transport.FlowHash(src.addr, dst)}
+
+	n := f.nics[src.addr.Node]
+	now := f.sched.Now()
+	wb := f.wireBytes(len(frame))
+	start := now + prof.NICTxDelay
+	if n.txFree > start {
+		start = n.txFree
+	}
+	dep := start + ser(wb, prof.LinkGbps)
+	n.txFree = dep
+	arrive := dep + prof.PropDelay
+
+	if int(dst.Node) == int(src.addr.Node) {
+		// Loopback through the NIC without touching the fabric.
+		f.sched.At(dep+prof.NICRxDelay, func() { f.deliver(pkt) })
+		return
+	}
+	srcToR := int(src.addr.Node) / f.cfg.Topology.NodesPerToR
+	f.sched.At(arrive, func() { f.atToR(srcToR, pkt) })
+}
+
+// atToR handles a packet arriving at a ToR switch (from a host or from
+// a spine).
+func (f *Fabric) atToR(torIdx int, pkt *simPkt) {
+	topo := f.cfg.Topology
+	dstToR := int(pkt.to.Node) / topo.NodesPerToR
+	if dstToR == torIdx {
+		// Egress on the downlink to the destination node.
+		local := int(pkt.to.Node) % topo.NodesPerToR
+		f.switchForward(f.tors[torIdx], local, f.cfg.Profile.LinkGbps, pkt, func() {
+			f.atDstNIC(pkt)
+		})
+		return
+	}
+	// Egress on an ECMP-selected uplink to a spine.
+	spineIdx := int(pkt.hash) % topo.NumSpines
+	uplinkPort := topo.NodesPerToR + spineIdx
+	f.switchForward(f.tors[torIdx], uplinkPort, f.cfg.Profile.UplinkGbps, pkt, func() {
+		f.atSpine(spineIdx, pkt)
+	})
+}
+
+// atSpine handles a packet arriving at a spine switch.
+func (f *Fabric) atSpine(spineIdx int, pkt *simPkt) {
+	dstToR := int(pkt.to.Node) / f.cfg.Topology.NodesPerToR
+	f.switchForward(f.spine[spineIdx], dstToR, f.cfg.Profile.UplinkGbps, pkt, func() {
+		f.atToR(dstToR, pkt)
+	})
+}
+
+// switchForward enqueues pkt on the given egress port and schedules
+// its arrival at the next hop via then().
+func (f *Fabric) switchForward(s *swtch, portIdx int, gbps float64, pkt *simPkt, then func()) {
+	wb := f.wireBytes(len(pkt.buf))
+	if !s.admit(portIdx, wb) {
+		f.Stats.DroppedBuffer++
+		return
+	}
+	prof := f.cfg.Profile
+	now := f.sched.Now()
+	p := &s.ports[portIdx]
+	s.used += wb
+	p.queued += wb
+	start := now + prof.SwitchLatency
+	if p.free > start {
+		start = p.free
+	}
+	dep := start + ser(wb, gbps)
+	p.free = dep
+	// Buffer occupancy is released when the packet finishes leaving
+	// the egress port; the packet reaches the next hop one propagation
+	// delay later.
+	f.sched.At(dep, func() {
+		s.used -= wb
+		p.queued -= wb
+	})
+	f.sched.At(dep+prof.PropDelay, then)
+}
+
+// atDstNIC applies loss/reorder injection and delivers to the endpoint.
+func (f *Fabric) atDstNIC(pkt *simPkt) {
+	rng := f.sched.Rand()
+	if f.cfg.LossRate > 0 && rng.Float64() < f.cfg.LossRate {
+		f.Stats.DroppedLoss++
+		return
+	}
+	at := f.sched.Now() + f.cfg.Profile.NICRxDelay
+	if f.cfg.Jitter > 0 {
+		at += sim.Time(rng.Int63n(int64(f.cfg.Jitter)))
+		// Jitter must not reorder packets within a flow: datacenter
+		// ECMP preserves intra-flow ordering (paper §5.3). Clamp each
+		// delivery to after the previous delivery from the same
+		// source.
+		if n := f.nics[pkt.to.Node]; int(pkt.to.Port) < len(n.endpoints) {
+			ep := n.endpoints[pkt.to.Port]
+			if ep.lastArrival == nil {
+				ep.lastArrival = map[transport.Addr]sim.Time{}
+			}
+			if last := ep.lastArrival[pkt.from]; at <= last {
+				at = last + 1
+			}
+			ep.lastArrival[pkt.from] = at
+		}
+	}
+	if f.cfg.ReorderRate > 0 && rng.Float64() < f.cfg.ReorderRate {
+		f.Stats.Reordered++
+		at += sim.Time(rng.Int63n(int64(20 * sim.Microsecond)))
+	}
+	f.sched.At(at, func() { f.deliver(pkt) })
+}
+
+func (f *Fabric) deliver(pkt *simPkt) {
+	n := f.nics[pkt.to.Node]
+	if int(pkt.to.Port) >= len(n.endpoints) {
+		return // no such endpoint: silently dropped
+	}
+	ep := n.endpoints[pkt.to.Port]
+	if ep.closed {
+		return
+	}
+	if len(ep.rq) >= f.cfg.RQCap {
+		f.Stats.DroppedRQ++
+		return
+	}
+	f.Stats.Delivered++
+	f.Stats.BytesDelivered += uint64(len(pkt.buf))
+	wasEmpty := len(ep.rq) == 0
+	ep.rq = append(ep.rq, rxPkt{buf: pkt.buf, from: pkt.from})
+	if wasEmpty && ep.wake != nil {
+		ep.wake()
+	}
+}
+
+type rxPkt struct {
+	buf  []byte
+	from transport.Addr
+}
+
+// Endpoint is one attachment point on the fabric; it implements
+// transport.Transport.
+type Endpoint struct {
+	fab         *Fabric
+	addr        transport.Addr
+	rq          []rxPkt
+	rqHead      int
+	wake        func()
+	closed      bool
+	lastArrival map[transport.Addr]sim.Time // per-source ordering under jitter
+}
+
+var _ transport.Transport = (*Endpoint)(nil)
+
+// MTU implements transport.Transport.
+func (e *Endpoint) MTU() int { return e.fab.cfg.Profile.MTU }
+
+// LocalAddr implements transport.Transport.
+func (e *Endpoint) LocalAddr() transport.Addr { return e.addr }
+
+// Send implements transport.Transport.
+func (e *Endpoint) Send(dst transport.Addr, frame []byte) {
+	if e.closed {
+		return
+	}
+	e.fab.send(e, dst, frame)
+}
+
+// Recv implements transport.Transport.
+func (e *Endpoint) Recv() ([]byte, transport.Addr, bool) {
+	if e.rqHead >= len(e.rq) {
+		if len(e.rq) > 0 {
+			e.rq = e.rq[:0]
+			e.rqHead = 0
+		}
+		return nil, transport.Addr{}, false
+	}
+	p := e.rq[e.rqHead]
+	e.rq[e.rqHead] = rxPkt{}
+	e.rqHead++
+	if e.rqHead == len(e.rq) {
+		e.rq = e.rq[:0]
+		e.rqHead = 0
+	}
+	return p.buf, p.from, true
+}
+
+// Pending reports queued RX packets.
+func (e *Endpoint) Pending() int { return len(e.rq) - e.rqHead }
+
+// SetWake implements transport.Transport.
+func (e *Endpoint) SetWake(fn func()) { e.wake = fn }
+
+// Close implements transport.Transport.
+func (e *Endpoint) Close() error {
+	e.closed = true
+	e.rq = nil
+	e.rqHead = 0
+	return nil
+}

@@ -1,0 +1,228 @@
+// Package stats provides latency recorders, log-scale histograms and
+// rate counters used by the experiment harness. Recorders are not
+// goroutine-safe; in simulation everything runs on one goroutine, and
+// real-mode callers keep one recorder per goroutine and merge.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Recorder collects samples and reports exact percentiles. It keeps all
+// samples; use Histogram for unbounded streams.
+type Recorder struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewRecorder returns a Recorder with capacity hint n.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{samples: make([]float64, 0, n)}
+}
+
+// Add records one sample.
+func (r *Recorder) Add(v float64) {
+	r.samples = append(r.samples, v)
+	r.sorted = false
+}
+
+// Count reports the number of samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Reset discards all samples.
+func (r *Recorder) Reset() {
+	r.samples = r.samples[:0]
+	r.sorted = false
+}
+
+// Merge absorbs the samples of other.
+func (r *Recorder) Merge(other *Recorder) {
+	r.samples = append(r.samples, other.samples...)
+	r.sorted = false
+}
+
+func (r *Recorder) sortIfNeeded() {
+	if !r.sorted {
+		sort.Float64s(r.samples)
+		r.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank. Returns 0 for an empty recorder.
+func (r *Recorder) Percentile(p float64) float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.sortIfNeeded()
+	if p <= 0 {
+		return r.samples[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(r.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(r.samples) {
+		rank = len(r.samples)
+	}
+	return r.samples[rank-1]
+}
+
+// Median returns the 50th percentile.
+func (r *Recorder) Median() float64 { return r.Percentile(50) }
+
+// Min returns the smallest sample, or 0 if empty.
+func (r *Recorder) Min() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.sortIfNeeded()
+	return r.samples[0]
+}
+
+// Max returns the largest sample, or 0 if empty.
+func (r *Recorder) Max() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.sortIfNeeded()
+	return r.samples[len(r.samples)-1]
+}
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (r *Recorder) Mean() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.samples {
+		sum += v
+	}
+	return sum / float64(len(r.samples))
+}
+
+// Summary formats min/median/p99/p999/max on one line, treating values
+// as microseconds.
+func (r *Recorder) Summary() string {
+	return fmt.Sprintf("n=%d min=%.1f p50=%.1f p99=%.1f p99.9=%.1f max=%.1f",
+		r.Count(), r.Min(), r.Median(), r.Percentile(99), r.Percentile(99.9), r.Max())
+}
+
+// Histogram is a log₂-bucketed histogram for unbounded sample streams.
+// Buckets cover [2^i, 2^(i+1)); values below 1 land in bucket 0.
+type Histogram struct {
+	buckets [64]uint64
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{min: math.Inf(1), max: math.Inf(-1)} }
+
+// Add records one non-negative sample.
+func (h *Histogram) Add(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	b := 0
+	if v >= 1 {
+		b = int(math.Log2(v))
+		if b > 63 {
+			b = 63
+		}
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// ApproxPercentile returns an estimate of the p-th percentile: the
+// geometric midpoint of the bucket containing the target rank, clamped
+// to the observed min/max.
+func (h *Histogram) ApproxPercentile(p float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			lo := math.Exp2(float64(i))
+			hi := math.Exp2(float64(i + 1))
+			if i == 0 {
+				lo = 0
+			}
+			v := math.Sqrt(math.Max(lo, 1) * hi)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Counter tracks an event count over a time window for rate reporting.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.n++ }
+
+// Addn adds n.
+func (c *Counter) Addn(n uint64) { c.n += n }
+
+// Value reports the count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter and returns the previous value.
+func (c *Counter) Reset() uint64 {
+	v := c.n
+	c.n = 0
+	return v
+}
+
+// Rate returns events/second given an elapsed duration in nanoseconds.
+func (c *Counter) Rate(elapsedNs int64) float64 {
+	if elapsedNs <= 0 {
+		return 0
+	}
+	return float64(c.n) / (float64(elapsedNs) / 1e9)
+}
+
+// Gbps converts a byte count and elapsed nanoseconds to gigabits/sec.
+func Gbps(bytes uint64, elapsedNs int64) float64 {
+	if elapsedNs <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / float64(elapsedNs)
+}

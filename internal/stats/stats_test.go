@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecorderPercentiles(t *testing.T) {
+	r := NewRecorder(100)
+	for i := 1; i <= 100; i++ {
+		r.Add(float64(i))
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{50, 50}, {99, 99}, {100, 100}, {1, 1}, {0, 1},
+	}
+	for _, c := range cases {
+		if got := r.Percentile(c.p); got != c.want {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	r := NewRecorder(0)
+	if r.Percentile(50) != 0 || r.Min() != 0 || r.Max() != 0 || r.Mean() != 0 {
+		t.Fatal("empty recorder should report zeros")
+	}
+}
+
+func TestRecorderSingle(t *testing.T) {
+	r := NewRecorder(1)
+	r.Add(7)
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := r.Percentile(p); got != 7 {
+			t.Errorf("P%v = %v, want 7", p, got)
+		}
+	}
+}
+
+func TestRecorderMinMaxMean(t *testing.T) {
+	r := NewRecorder(4)
+	for _, v := range []float64{4, 1, 3, 2} {
+		r.Add(v)
+	}
+	if r.Min() != 1 || r.Max() != 4 || r.Mean() != 2.5 {
+		t.Fatalf("min=%v max=%v mean=%v", r.Min(), r.Max(), r.Mean())
+	}
+}
+
+func TestRecorderMerge(t *testing.T) {
+	a, b := NewRecorder(2), NewRecorder(2)
+	a.Add(1)
+	a.Add(2)
+	b.Add(3)
+	b.Add(4)
+	a.Merge(b)
+	if a.Count() != 4 || a.Max() != 4 {
+		t.Fatalf("merge failed: count=%d max=%v", a.Count(), a.Max())
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder(2)
+	r.Add(5)
+	r.Reset()
+	if r.Count() != 0 || r.Percentile(50) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestRecorderAddAfterPercentileResorts(t *testing.T) {
+	r := NewRecorder(3)
+	r.Add(10)
+	_ = r.Percentile(50)
+	r.Add(1)
+	if got := r.Min(); got != 1 {
+		t.Fatalf("min = %v after post-sort Add, want 1", got)
+	}
+}
+
+// Property: the median of any non-empty sample set lies between min and
+// max, and percentiles are monotone in p.
+func TestRecorderMonotoneProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		r := NewRecorder(len(vals))
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			r.Add(v)
+		}
+		prev := math.Inf(-1)
+		for _, p := range []float64{1, 25, 50, 75, 90, 99, 99.9, 100} {
+			v := r.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return r.Median() >= r.Min() && r.Median() <= r.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nearest-rank percentile matches a direct computation.
+func TestRecorderNearestRankProperty(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := 1 + float64(pRaw%100)
+		r := NewRecorder(len(raw))
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+			r.Add(float64(v))
+		}
+		sort.Float64s(vals)
+		rank := int(math.Ceil(p / 100 * float64(len(vals))))
+		if rank < 1 {
+			rank = 1
+		}
+		return r.Percentile(p) == vals[rank-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Add(100)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 100 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	p := h.ApproxPercentile(50)
+	if p < 64 || p > 128 {
+		t.Fatalf("p50 = %v, want within bucket [64,128)", p)
+	}
+}
+
+func TestHistogramApproxWithinFactor2(t *testing.T) {
+	h := NewHistogram()
+	r := NewRecorder(10000)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := math.Exp(rng.Float64() * 10) // log-uniform over ~[1, 22026]
+		h.Add(v)
+		r.Add(v)
+	}
+	for _, p := range []float64{50, 90, 99} {
+		exact := r.Percentile(p)
+		approx := h.ApproxPercentile(p)
+		if approx < exact/2 || approx > exact*2 {
+			t.Errorf("P%v: approx %v vs exact %v (off by more than 2x)", p, approx, exact)
+		}
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Add(-5)
+	if h.Count() != 1 {
+		t.Fatal("negative sample not recorded")
+	}
+	if h.ApproxPercentile(50) < 0 {
+		t.Fatal("percentile went negative")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.ApproxPercentile(99) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Addn(9)
+	if c.Value() != 10 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	if got := c.Rate(1e9); got != 10 {
+		t.Fatalf("rate = %v, want 10/s", got)
+	}
+	if c.Reset() != 10 || c.Value() != 0 {
+		t.Fatal("reset misbehaved")
+	}
+	if c.Rate(0) != 0 {
+		t.Fatal("rate with zero elapsed should be 0")
+	}
+}
+
+func TestGbps(t *testing.T) {
+	// 125 MB in 1 second = 1 Gbps.
+	if got := Gbps(125_000_000, 1e9); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("Gbps = %v, want 1", got)
+	}
+	if Gbps(100, 0) != 0 {
+		t.Fatal("zero elapsed should yield 0")
+	}
+}

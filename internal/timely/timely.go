@@ -1,0 +1,136 @@
+// Package timely implements the Timely congestion control algorithm
+// (Mittal et al., SIGCOMM 2015) as used by eRPC (paper §5.2): per-packet
+// RTT measurements drive a per-session sending rate through an RTT
+// gradient computation, with additive increase below a low RTT
+// threshold, multiplicative decrease above a high threshold, and
+// gradient-proportional adjustment in between. Hyperactive increase
+// (HAI) accelerates recovery after several consecutive negative
+// gradients.
+package timely
+
+import (
+	"repro/internal/sim"
+)
+
+// Params configures a Timely instance. Zero fields take the defaults
+// from the Timely paper and the eRPC implementation.
+type Params struct {
+	LinkRate  float64  // bytes/sec; also the maximum rate
+	MinRate   float64  // bytes/sec floor (default LinkRate/1000)
+	TLow      sim.Time // low RTT threshold (default 50 µs, paper's recommended value)
+	THigh     sim.Time // high RTT threshold (default 1 ms)
+	MinRTT    sim.Time // fabric base RTT used to normalize the gradient (default 10 µs)
+	EWMAAlpha float64  // RTT-difference EWMA weight (default 0.46)
+	Beta      float64  // multiplicative decrease factor (default 0.26)
+	AddRate   float64  // additive increase step, bytes/sec (default 5 MB/s, as in eRPC)
+	HAIThresh int      // consecutive negative gradients to enter HAI (default 5)
+}
+
+func (p *Params) setDefaults() {
+	if p.LinkRate <= 0 {
+		panic("timely: LinkRate must be positive")
+	}
+	if p.MinRate <= 0 {
+		p.MinRate = p.LinkRate / 1000
+	}
+	if p.TLow == 0 {
+		p.TLow = 50 * sim.Microsecond
+	}
+	if p.THigh == 0 {
+		p.THigh = 1000 * sim.Microsecond
+	}
+	if p.MinRTT == 0 {
+		p.MinRTT = 10 * sim.Microsecond
+	}
+	if p.EWMAAlpha == 0 {
+		p.EWMAAlpha = 0.46
+	}
+	if p.Beta == 0 {
+		p.Beta = 0.26
+	}
+	if p.AddRate == 0 {
+		p.AddRate = 5e6 // eRPC's kTimelyAddRate: 5 MB/s
+	}
+	if p.HAIThresh == 0 {
+		p.HAIThresh = 5
+	}
+}
+
+// Timely holds per-session congestion control state. It is owned by
+// one dispatch thread and is not goroutine-safe, matching eRPC's
+// per-session client-side state.
+type Timely struct {
+	p Params
+
+	rate     float64 // current sending rate, bytes/sec
+	prevRTT  sim.Time
+	rttDiff  float64 // EWMA of RTT differences, ns
+	negCount int     // consecutive non-positive gradients (HAI trigger)
+
+	// Updates counts rate computations, used to verify the Timely
+	// bypass optimization in tests.
+	Updates uint64
+}
+
+// New returns a Timely instance starting at line rate (sessions are
+// born uncongested; paper §5.2.2).
+func New(p Params) *Timely {
+	p.setDefaults()
+	return &Timely{p: p, rate: p.LinkRate}
+}
+
+// Rate returns the current sending rate in bytes/sec.
+func (t *Timely) Rate() float64 { return t.rate }
+
+// TLow returns the low RTT threshold, used by the caller for the
+// "Timely bypass" common-case optimization.
+func (t *Timely) TLow() sim.Time { return t.p.TLow }
+
+// Uncongested reports whether the computed rate sits at the link's
+// maximum rate, i.e. the session is uncongested (paper §5.2.2).
+func (t *Timely) Uncongested() bool { return t.rate >= t.p.LinkRate }
+
+// Update incorporates one RTT sample and recomputes the rate.
+func (t *Timely) Update(rtt sim.Time) {
+	t.Updates++
+	if t.prevRTT == 0 {
+		t.prevRTT = rtt
+	}
+	newDiff := float64(rtt - t.prevRTT)
+	t.prevRTT = rtt
+	a := t.p.EWMAAlpha
+	t.rttDiff = (1-a)*t.rttDiff + a*newDiff
+	gradient := t.rttDiff / float64(t.p.MinRTT)
+
+	switch {
+	case rtt < t.p.TLow:
+		// Additive increase towards line rate.
+		t.rate += t.p.AddRate
+		t.negCount = 0
+	case rtt > t.p.THigh:
+		// Multiplicative decrease independent of gradient.
+		t.rate *= 1 - t.p.Beta*(1-float64(t.p.THigh)/float64(rtt))
+		t.negCount = 0
+	case gradient <= 0:
+		t.negCount++
+		n := 1.0
+		if t.negCount >= t.p.HAIThresh {
+			n = 5 // hyperactive increase
+		}
+		t.rate += n * t.p.AddRate
+	default:
+		t.negCount = 0
+		dec := 1 - t.p.Beta*gradient
+		if dec < 0.5 {
+			dec = 0.5 // eRPC clamps the per-update decrease to 2x
+		}
+		t.rate *= dec
+	}
+
+	if t.rate > t.p.LinkRate {
+		t.rate = t.p.LinkRate
+	}
+	if t.rate < t.p.MinRate {
+		t.rate = t.p.MinRate
+	}
+}

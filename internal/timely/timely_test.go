@@ -1,0 +1,162 @@
+package timely
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+const gbps25 = 25e9 / 8 // bytes/sec
+
+func newT() *Timely { return New(Params{LinkRate: gbps25}) }
+
+func TestStartsAtLineRate(t *testing.T) {
+	tl := newT()
+	if tl.Rate() != gbps25 {
+		t.Fatalf("initial rate = %v, want link rate", tl.Rate())
+	}
+	if !tl.Uncongested() {
+		t.Fatal("should start uncongested")
+	}
+}
+
+func TestLowRTTKeepsLineRate(t *testing.T) {
+	tl := newT()
+	for i := 0; i < 100; i++ {
+		tl.Update(10 * sim.Microsecond) // well under TLow=50µs
+	}
+	if !tl.Uncongested() {
+		t.Fatalf("rate = %v after low RTTs, want line rate", tl.Rate())
+	}
+}
+
+func TestHighRTTCutsRate(t *testing.T) {
+	tl := newT()
+	for i := 0; i < 10; i++ {
+		tl.Update(5 * sim.Millisecond) // above THigh=1ms
+	}
+	if tl.Uncongested() {
+		t.Fatal("rate should drop under sustained high RTT")
+	}
+	if tl.Rate() > gbps25/2 {
+		t.Fatalf("rate = %v, want < half line rate after 10 THigh hits", tl.Rate())
+	}
+}
+
+func TestRisingRTTGradientDecreases(t *testing.T) {
+	tl := newT()
+	// RTT rising within [TLow, THigh]: positive gradient → decrease.
+	rtt := 100 * sim.Microsecond
+	for i := 0; i < 20; i++ {
+		tl.Update(rtt)
+		rtt += 30 * sim.Microsecond
+		if rtt > 900*sim.Microsecond {
+			rtt = 900 * sim.Microsecond
+		}
+	}
+	if tl.Uncongested() {
+		t.Fatalf("rising RTTs should reduce rate, got %v", tl.Rate())
+	}
+}
+
+func TestFallingRTTRecovers(t *testing.T) {
+	tl := newT()
+	for i := 0; i < 30; i++ {
+		tl.Update(5 * sim.Millisecond)
+	}
+	low := tl.Rate()
+	// Falling/flat RTT within the band: negative gradient → increase,
+	// with HAI after 5 consecutive.
+	for i := 0; i < 400; i++ {
+		tl.Update(100 * sim.Microsecond)
+	}
+	if tl.Rate() <= low {
+		t.Fatalf("rate should recover: %v -> %v", low, tl.Rate())
+	}
+}
+
+func TestHAIAcceleratesRecovery(t *testing.T) {
+	congest := func(hai int) float64 {
+		tl := New(Params{LinkRate: gbps25, HAIThresh: hai})
+		for i := 0; i < 30; i++ {
+			tl.Update(5 * sim.Millisecond)
+		}
+		for i := 0; i < 50; i++ {
+			tl.Update(100 * sim.Microsecond)
+		}
+		return tl.Rate()
+	}
+	withHAI := congest(5)
+	withoutHAI := congest(1 << 30) // never triggers
+	if withHAI <= withoutHAI {
+		t.Fatalf("HAI should recover faster: %v vs %v", withHAI, withoutHAI)
+	}
+}
+
+func TestRateFloor(t *testing.T) {
+	tl := newT()
+	for i := 0; i < 1000; i++ {
+		tl.Update(50 * sim.Millisecond)
+	}
+	if tl.Rate() < gbps25/1000 {
+		t.Fatalf("rate %v fell below floor", tl.Rate())
+	}
+}
+
+func TestDecreaseClampedTo2x(t *testing.T) {
+	// A single update can cut the rate by at most 2x in the gradient
+	// band (eRPC clamp).
+	tl := New(Params{LinkRate: gbps25, MinRTT: sim.Microsecond})
+	tl.Update(100 * sim.Microsecond)
+	before := tl.Rate()
+	tl.Update(900 * sim.Microsecond) // enormous positive gradient
+	if tl.Rate() < before/2-1 {
+		t.Fatalf("decrease exceeded 2x clamp: %v -> %v", before, tl.Rate())
+	}
+}
+
+func TestUpdatesCounter(t *testing.T) {
+	tl := newT()
+	for i := 0; i < 7; i++ {
+		tl.Update(10 * sim.Microsecond)
+	}
+	if tl.Updates != 7 {
+		t.Fatalf("Updates = %d", tl.Updates)
+	}
+}
+
+// Property: the rate always stays within [MinRate, LinkRate] for any
+// RTT sequence.
+func TestRateBoundsProperty(t *testing.T) {
+	f := func(rtts []uint32) bool {
+		tl := newT()
+		for _, r := range rtts {
+			tl.Update(sim.Time(r % 100_000_000)) // up to 100ms
+			if tl.Rate() > gbps25 || tl.Rate() < gbps25/1000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultsPanicWithoutLinkRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New without LinkRate should panic")
+		}
+	}()
+	New(Params{})
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	tl := newT()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tl.Update(sim.Time(60_000 + i%1000))
+	}
+}

@@ -1,0 +1,70 @@
+// Package transport defines eRPC's transport abstraction: basic
+// unreliable packet I/O, the only thing eRPC requires from the network
+// (paper §3: "eRPC implements RPCs on top of a transport layer that
+// provides basic unreliable packet I/O").
+//
+// Two implementations exist: a real UDP transport (this package) and
+// the simulated datacenter fabric (package simnet). Both deliver
+// at-most-once, possibly-reordered, MTU-bounded frames.
+package transport
+
+import "fmt"
+
+// Addr identifies an Rpc endpoint: a node (machine) and a port
+// (endpoint index within the node, one per dispatch thread). Addr is
+// comparable and usable as a map key, in the spirit of gopacket's
+// Endpoint type.
+type Addr struct {
+	Node uint16
+	Port uint16
+}
+
+func (a Addr) String() string { return fmt.Sprintf("%d:%d", a.Node, a.Port) }
+
+// FlowHash returns a symmetric hash of the (src, dst) pair for ECMP
+// load balancing. Symmetry (A→B == B→A) mirrors gopacket's
+// Flow.FastHash and keeps both directions of a session on one path.
+func FlowHash(a, b Addr) uint32 {
+	x := uint32(a.Node)<<16 | uint32(a.Port)
+	y := uint32(b.Node)<<16 | uint32(b.Port)
+	if x > y {
+		x, y = y, x
+	}
+	// FNV-1a over the two words.
+	h := uint32(2166136261)
+	for _, w := range [2]uint32{x, y} {
+		for i := 0; i < 4; i++ {
+			h ^= w >> (8 * i) & 0xFF
+			h *= 16777619
+		}
+	}
+	return h
+}
+
+// Transport is unreliable datagram I/O for one Rpc endpoint.
+//
+// Ownership rules (the zero-copy idiom from paper §4.2.3): the buffer
+// returned by Recv is owned by the transport and is valid only until
+// the next Recv call, mirroring a NIC RX ring whose descriptors are
+// re-posted after processing. Callers that need the data longer must
+// copy it. Send may be called with a buffer that the caller reuses
+// immediately after return.
+type Transport interface {
+	// MTU returns the maximum frame size in bytes (headers included).
+	MTU() int
+	// LocalAddr returns this endpoint's address.
+	LocalAddr() Addr
+	// Send transmits one frame to dst. It never blocks; frames may be
+	// silently dropped (by the network or full queues).
+	Send(dst Addr, frame []byte)
+	// Recv polls for one received frame. ok is false if none is
+	// pending. The returned slice is valid until the next Recv.
+	Recv() (frame []byte, from Addr, ok bool)
+	// SetWake registers fn to be invoked when a frame arrives and the
+	// receive queue was empty. Real transports call it from the
+	// receive goroutine; the simulated transport calls it at virtual
+	// delivery time. fn must be cheap and non-blocking.
+	SetWake(fn func())
+	// Close releases resources. Recv after Close returns no frames.
+	Close() error
+}

@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// UDP is a Transport over a real UDP socket. It exists so that eRPC is
+// a usable RPC library on commodity kernels, not only a simulation
+// artifact; the paper's userspace-NIC datapath is replaced by a socket
+// (documented substitution: same unreliable-datagram semantics, higher
+// latency).
+//
+// A reader goroutine moves datagrams from the socket into a bounded
+// ring; the Rpc event loop drains the ring with Recv. The ring models
+// the NIC RX queue: overflow drops packets, exactly like an empty RQ.
+type UDP struct {
+	conn  *net.UDPConn
+	local Addr
+	mtu   int
+
+	mu    sync.Mutex
+	peers map[Addr]*net.UDPAddr
+	rring []udpPkt // bounded FIFO
+	wake  func()
+	done  chan struct{}
+
+	// Drops counts ring-overflow drops.
+	Drops uint64
+
+	// cur is the buffer most recently returned by Recv; reused.
+	cur []byte
+}
+
+type udpPkt struct {
+	buf  []byte
+	from Addr
+}
+
+// DefaultUDPMTU bounds frames to a safe datagram size.
+const DefaultUDPMTU = 1472
+
+// udpRingCap is the RX ring capacity in packets, sized like a large
+// NIC RQ.
+const udpRingCap = 8192
+
+// NewUDP binds a UDP socket at bind (e.g. "127.0.0.1:0") and returns a
+// transport with the given local eRPC address.
+func NewUDP(local Addr, bind string) (*UDP, error) {
+	la, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", bind, err)
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", bind, err)
+	}
+	u := &UDP{
+		conn:  conn,
+		local: local,
+		mtu:   DefaultUDPMTU,
+		peers: map[Addr]*net.UDPAddr{},
+		done:  make(chan struct{}),
+	}
+	go u.readLoop()
+	return u, nil
+}
+
+// BoundAddr returns the socket's actual address (useful with port 0).
+func (u *UDP) BoundAddr() *net.UDPAddr { return u.conn.LocalAddr().(*net.UDPAddr) }
+
+// AddPeer maps an eRPC address to a UDP destination. The peer table
+// stands in for eRPC's sockets-based session management messaging.
+func (u *UDP) AddPeer(a Addr, udpAddr string) error {
+	ua, err := net.ResolveUDPAddr("udp", udpAddr)
+	if err != nil {
+		return fmt.Errorf("transport: resolve peer %q: %w", udpAddr, err)
+	}
+	u.mu.Lock()
+	u.peers[a] = ua
+	u.mu.Unlock()
+	return nil
+}
+
+// MTU implements Transport.
+func (u *UDP) MTU() int { return u.mtu }
+
+// LocalAddr implements Transport.
+func (u *UDP) LocalAddr() Addr { return u.local }
+
+// Send implements Transport. Frames to unknown peers are dropped, as
+// are oversized frames; both are "network" losses from the RPC layer's
+// point of view.
+func (u *UDP) Send(dst Addr, frame []byte) {
+	if len(frame) > u.mtu {
+		return
+	}
+	u.mu.Lock()
+	ua := u.peers[dst]
+	u.mu.Unlock()
+	if ua == nil {
+		return
+	}
+	// Prefix the frame with the 4-byte source address so the receiver
+	// can demultiplex without consulting a reverse peer table.
+	pkt := make([]byte, 4+len(frame))
+	pkt[0] = byte(u.local.Node >> 8)
+	pkt[1] = byte(u.local.Node)
+	pkt[2] = byte(u.local.Port >> 8)
+	pkt[3] = byte(u.local.Port)
+	copy(pkt[4:], frame)
+	_, _ = u.conn.WriteToUDP(pkt, ua) // best-effort: unreliable transport
+}
+
+func (u *UDP) readLoop() {
+	buf := make([]byte, u.mtu+4)
+	for {
+		n, _, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-u.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		if n < 4 {
+			continue
+		}
+		from := Addr{
+			Node: uint16(buf[0])<<8 | uint16(buf[1]),
+			Port: uint16(buf[2])<<8 | uint16(buf[3]),
+		}
+		frame := make([]byte, n-4)
+		copy(frame, buf[4:n])
+		u.mu.Lock()
+		var wake func()
+		if len(u.rring) >= udpRingCap {
+			u.Drops++
+		} else {
+			if len(u.rring) == 0 {
+				wake = u.wake
+			}
+			u.rring = append(u.rring, udpPkt{buf: frame, from: from})
+		}
+		u.mu.Unlock()
+		if wake != nil {
+			wake()
+		}
+	}
+}
+
+// Recv implements Transport.
+func (u *UDP) Recv() ([]byte, Addr, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if len(u.rring) == 0 {
+		return nil, Addr{}, false
+	}
+	p := u.rring[0]
+	u.rring = u.rring[1:]
+	u.cur = p.buf
+	return p.buf, p.from, true
+}
+
+// SetWake implements Transport.
+func (u *UDP) SetWake(fn func()) {
+	u.mu.Lock()
+	u.wake = fn
+	u.mu.Unlock()
+}
+
+// Close implements Transport.
+func (u *UDP) Close() error {
+	close(u.done)
+	return u.conn.Close()
+}

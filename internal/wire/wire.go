@@ -1,0 +1,171 @@
+// Package wire defines eRPC's on-the-wire packet format.
+//
+// Every eRPC packet carries a fixed 16-byte header (the paper's §4.2.1
+// "transport header and eRPC metadata") followed by up to one MTU of
+// application data. Credit-return (CR) and request-for-response (RFR)
+// packets are header-only, matching the paper's "tiny 16 B packets".
+//
+// The header packs into two 64-bit words:
+//
+//	word0: magic(8) | pktType(3) | reqType(8) | msgSize(24) | dstSession(16) | reserved(5)
+//	word1: pktNum(16) | reqNum(48)
+//
+// Encoding and decoding are zero-copy in the gopacket DecodingLayer
+// style: Decode fills a caller-owned Header from the packet prefix
+// without allocating.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// HeaderSize is the fixed length of an eRPC packet header in bytes.
+const HeaderSize = 16
+
+// Magic identifies eRPC packets; packets with a different first byte
+// are dropped by the transport demultiplexer.
+const Magic = 0xE5
+
+// Limits imposed by the header field widths.
+const (
+	MaxMsgSize = 1<<24 - 1 // 24-bit message size: up to 16 MB - 1 (paper supports 8 MB)
+	MaxPktNum  = 1<<16 - 1
+	MaxReqNum  = 1<<48 - 1
+)
+
+// PktType distinguishes the four packet kinds of the client-driven
+// protocol (paper §5.1).
+type PktType uint8
+
+const (
+	// PktReq carries request data, client → server.
+	PktReq PktType = iota
+	// PktRFR is a request-for-response, client → server, header-only.
+	PktRFR
+	// PktCR is an explicit credit return, server → client, header-only.
+	PktCR
+	// PktResp carries response data, server → client.
+	PktResp
+	// PktPing is a session-management heartbeat used for node failure
+	// detection (paper Appendix B), header-only.
+	PktPing
+	// PktPong answers a PktPing, header-only.
+	PktPong
+)
+
+func (t PktType) String() string {
+	switch t {
+	case PktReq:
+		return "req"
+	case PktRFR:
+		return "rfr"
+	case PktCR:
+		return "cr"
+	case PktResp:
+		return "resp"
+	case PktPing:
+		return "ping"
+	case PktPong:
+		return "pong"
+	}
+	return fmt.Sprintf("pkttype(%d)", uint8(t))
+}
+
+// IsServerToClient reports whether this packet type flows from the
+// server endpoint of a session to the client endpoint.
+func (t PktType) IsServerToClient() bool { return t == PktCR || t == PktResp }
+
+// HasData reports whether packets of this type carry payload bytes.
+func (t PktType) HasData() bool { return t == PktReq || t == PktResp }
+
+// Header is the decoded form of an eRPC packet header.
+type Header struct {
+	PktType    PktType
+	ReqType    uint8  // request handler type registered at the Nexus
+	MsgSize    uint32 // total message size in bytes (request or response)
+	DstSession uint16 // session number at the destination endpoint
+	PktNum     uint16 // packet index within the message (or within the response, for RFR)
+	ReqNum     uint64 // monotonically increasing per-slot request number
+}
+
+// Errors returned by Decode and Encode.
+var (
+	ErrShortPacket = errors.New("wire: packet shorter than header")
+	ErrBadMagic    = errors.New("wire: bad magic byte")
+	ErrFieldRange  = errors.New("wire: header field out of range")
+)
+
+// Encode writes the header into buf[:HeaderSize]. buf must be at least
+// HeaderSize long. It returns ErrFieldRange if any field exceeds its
+// wire width.
+func (h *Header) Encode(buf []byte) error {
+	if len(buf) < HeaderSize {
+		return ErrShortPacket
+	}
+	if h.MsgSize > MaxMsgSize || h.ReqNum > MaxReqNum || h.PktType > PktPong {
+		return ErrFieldRange
+	}
+	w0 := uint64(Magic) |
+		uint64(h.PktType)<<8 |
+		uint64(h.ReqType)<<11 |
+		uint64(h.MsgSize)<<19 |
+		uint64(h.DstSession)<<43
+	w1 := uint64(h.PktNum) | h.ReqNum<<16
+	binary.LittleEndian.PutUint64(buf[0:8], w0)
+	binary.LittleEndian.PutUint64(buf[8:16], w1)
+	return nil
+}
+
+// Decode fills h from the first HeaderSize bytes of buf without
+// allocating. It validates the magic byte.
+func (h *Header) Decode(buf []byte) error {
+	if len(buf) < HeaderSize {
+		return ErrShortPacket
+	}
+	w0 := binary.LittleEndian.Uint64(buf[0:8])
+	if byte(w0) != Magic {
+		return ErrBadMagic
+	}
+	w1 := binary.LittleEndian.Uint64(buf[8:16])
+	h.PktType = PktType(w0 >> 8 & 0x7)
+	h.ReqType = uint8(w0 >> 11)
+	h.MsgSize = uint32(w0 >> 19 & (1<<24 - 1))
+	h.DstSession = uint16(w0 >> 43)
+	h.PktNum = uint16(w1)
+	h.ReqNum = w1 >> 16
+	return nil
+}
+
+func (h *Header) String() string {
+	return fmt.Sprintf("%s req#%d pkt%d type=%d size=%d sess=%d",
+		h.PktType, h.ReqNum, h.PktNum, h.ReqType, h.MsgSize, h.DstSession)
+}
+
+// NumPkts returns the number of data packets needed for a message of
+// msgSize bytes with the given per-packet data capacity. A zero-size
+// message still uses one packet.
+func NumPkts(msgSize uint32, dataPerPkt int) int {
+	if dataPerPkt <= 0 {
+		panic("wire: non-positive dataPerPkt")
+	}
+	if msgSize == 0 {
+		return 1
+	}
+	return int((msgSize + uint32(dataPerPkt) - 1) / uint32(dataPerPkt))
+}
+
+// PktDataLen returns the number of data bytes carried by packet pktNum
+// of a message of msgSize bytes.
+func PktDataLen(msgSize uint32, dataPerPkt, pktNum int) int {
+	n := NumPkts(msgSize, dataPerPkt)
+	if pktNum < 0 || pktNum >= n {
+		return 0
+	}
+	if pktNum < n-1 {
+		return dataPerPkt
+	}
+	last := int(msgSize) - (n-1)*dataPerPkt
+	return last
+}

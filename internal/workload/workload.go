@@ -1,0 +1,203 @@
+// Package workload provides the traffic generators used by the
+// paper's evaluation: symmetric batched small-RPC clients (§6.2/§6.3),
+// one-outstanding ping-pong latency clients (§6.1, §6.5), and incast
+// drivers (§6.5). All generators run in simulation mode, driven by the
+// discrete-event scheduler.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/msgbuf"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Symmetric is the FaSST-style symmetric workload of §6.2: a thread
+// issues batches of B small requests to uniformly random remote
+// threads, keeping up to Window requests in flight, while also serving
+// incoming requests.
+type Symmetric struct {
+	Rpc      *core.Rpc
+	Sessions []*core.Session // one per remote thread
+	ReqType  uint8
+	B        int // batch size
+	Window   int // max requests in flight (paper: 60)
+	ReqSize  int
+	RespSize int
+	Rng      *rand.Rand
+	Sched    *sim.Scheduler
+
+	// Latency, when non-nil, records per-RPC sojourn time in
+	// microseconds.
+	Latency *stats.Recorder
+	// MeasureAfter discards samples and completions before this time
+	// (warmup).
+	MeasureAfter sim.Time
+
+	// Completed counts measured completions.
+	Completed uint64
+	// Errors counts failed RPCs.
+	Errors uint64
+
+	inflight int
+	freeReq  []*msgbuf.Buf
+	freeResp []*msgbuf.Buf
+	stopped  bool
+}
+
+// Start begins issuing requests. Call once, from scheduler context.
+func (s *Symmetric) Start() {
+	if s.B <= 0 || s.Window <= 0 || len(s.Sessions) == 0 {
+		panic("workload: Symmetric needs B, Window and Sessions")
+	}
+	for i := 0; i < s.Window; i++ {
+		s.freeReq = append(s.freeReq, s.Rpc.Alloc(s.ReqSize))
+		s.freeResp = append(s.freeResp, s.Rpc.Alloc(maxInt(s.RespSize, s.ReqSize)))
+	}
+	s.pump()
+}
+
+// Stop halts new request issue; in-flight requests drain naturally.
+func (s *Symmetric) Stop() { s.stopped = true }
+
+func (s *Symmetric) pump() {
+	for !s.stopped && s.inflight+s.B <= s.Window && len(s.freeReq) >= s.B {
+		for i := 0; i < s.B; i++ {
+			s.issueOne()
+		}
+	}
+}
+
+func (s *Symmetric) issueOne() {
+	sess := s.Sessions[s.Rng.Intn(len(s.Sessions))]
+	req := s.freeReq[len(s.freeReq)-1]
+	s.freeReq = s.freeReq[:len(s.freeReq)-1]
+	resp := s.freeResp[len(s.freeResp)-1]
+	s.freeResp = s.freeResp[:len(s.freeResp)-1]
+	req.Resize(s.ReqSize)
+	s.inflight++
+	start := s.Sched.Now()
+	s.Rpc.EnqueueRequest(sess, s.ReqType, req, resp, func(err error) {
+		s.inflight--
+		s.freeReq = append(s.freeReq, req)
+		s.freeResp = append(s.freeResp, resp)
+		if err != nil {
+			s.Errors++
+		} else if s.Sched.Now() >= s.MeasureAfter {
+			s.Completed++
+			if s.Latency != nil {
+				s.Latency.Add(float64(s.Sched.Now()-start) / 1000.0)
+			}
+		}
+		s.pump()
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PingPong keeps exactly one R-byte request outstanding against one
+// session, recording per-RPC latency — the §6.1 latency benchmark and
+// the §6.5 latency-sensitive background flows.
+type PingPong struct {
+	Rpc      *core.Rpc
+	Session  *core.Session
+	ReqType  uint8
+	ReqSize  int
+	RespSize int
+	Sched    *sim.Scheduler
+
+	Latency      *stats.Recorder // microseconds
+	MeasureAfter sim.Time
+	Completed    uint64
+	Errors       uint64
+
+	req, resp *msgbuf.Buf
+	stopped   bool
+}
+
+// Start issues the first request.
+func (p *PingPong) Start() {
+	p.req = p.Rpc.Alloc(p.ReqSize)
+	p.resp = p.Rpc.Alloc(maxInt(p.RespSize, 64))
+	p.issue()
+}
+
+// Stop halts after the current RPC completes.
+func (p *PingPong) Stop() { p.stopped = true }
+
+func (p *PingPong) issue() {
+	start := p.Sched.Now()
+	p.Rpc.EnqueueRequest(p.Session, p.ReqType, p.req, p.resp, func(err error) {
+		if err != nil {
+			p.Errors++
+		} else if p.Sched.Now() >= p.MeasureAfter {
+			p.Completed++
+			if p.Latency != nil {
+				p.Latency.Add(float64(p.Sched.Now()-start) / 1000.0)
+			}
+		}
+		if !p.stopped {
+			p.issue()
+		}
+	})
+}
+
+// Incast drives one flow of an incast: the client repeatedly sends
+// R-byte requests (default 8 MB) to the victim, back to back (§6.5).
+type Incast struct {
+	Rpc     *core.Rpc
+	Session *core.Session
+	ReqType uint8
+	ReqSize int
+	Sched   *sim.Scheduler
+
+	// Bytes counts request payload bytes acknowledged after
+	// MeasureAfter.
+	Bytes        uint64
+	MeasureAfter sim.Time
+	Errors       uint64
+
+	req, resp *msgbuf.Buf
+	stopped   bool
+}
+
+// Start begins the flow.
+func (in *Incast) Start() {
+	in.req = in.Rpc.Alloc(in.ReqSize)
+	in.resp = in.Rpc.Alloc(64)
+	in.issue()
+}
+
+// Stop halts after the current transfer.
+func (in *Incast) Stop() { in.stopped = true }
+
+func (in *Incast) issue() {
+	in.Rpc.EnqueueRequest(in.Session, in.ReqType, in.req, in.resp, func(err error) {
+		if err != nil {
+			in.Errors++
+		} else if in.Sched.Now() >= in.MeasureAfter {
+			in.Bytes += uint64(in.ReqSize)
+		}
+		if !in.stopped {
+			in.issue()
+		}
+	})
+}
+
+// UniformKeys generates n fixed-size random keys for KV workloads.
+func UniformKeys(rng *rand.Rand, n, size int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		k := make([]byte, size)
+		rng.Read(k)
+		keys[i] = k
+	}
+	return keys
+}

@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet bench fuzz ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run XXX .
+
+# Short native-fuzzing session on the packet parsers; the seed corpora
+# also run as plain tests in `make test`.
+fuzz:
+	$(GO) test -fuzz FuzzParseHeader -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz FuzzPktMath -fuzztime 15s ./internal/wire/
+	$(GO) test -fuzz FuzzProcessPkt -fuzztime 30s ./internal/core/
+
+ci: build vet race

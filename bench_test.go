@@ -131,3 +131,13 @@ func BenchmarkSec72(b *testing.B) {
 	rep := run(b, "sec72", 0.25)
 	reportRow(b, rep, 0, "MGets-per-s")
 }
+
+// BenchmarkMulticore sweeps the multi-endpoint server runtime from 1
+// to 8 dispatch endpoints (sessions striped across them by flow hash)
+// and reports the 1- and 8-endpoint request rates; the full sweep is
+// in the report (go test -bench Multicore -v).
+func BenchmarkMulticore(b *testing.B) {
+	rep := run(b, "multicore", 0.25)
+	reportRow(b, rep, 0, "Mrps-1ep")
+	reportRow(b, rep, len(rep.Rows)-1, "Mrps-8ep")
+}

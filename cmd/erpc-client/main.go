@@ -1,15 +1,20 @@
 // Command erpc-client load-tests a real eRPC server over UDP (see
-// cmd/erpc-server) and prints latency percentiles and throughput.
+// cmd/erpc-server) and prints latency percentiles and throughput. It
+// is the requester-side half of the multi-endpoint runtime: M client
+// dispatch goroutines, each owning one Rpc endpoint, with sessions
+// striped across the server's N endpoints by flow hash.
 //
 // Usage:
 //
-//	erpc-client -bind 127.0.0.1:31900 -server 127.0.0.1:31850 -n 100000 -window 16
+//	erpc-client -bind 127.0.0.1:31900 -endpoints 2 \
+//	    -server 127.0.0.1:31850 -server-endpoints 4 -n 100000 -window 16
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"sync/atomic"
 	"time"
 
 	"repro/erpc"
@@ -18,68 +23,141 @@ import (
 
 func main() {
 	var (
-		bind   = flag.String("bind", "127.0.0.1:31900", "UDP bind address")
-		server = flag.String("server", "127.0.0.1:31850", "server UDP address")
-		n      = flag.Int("n", 100_000, "requests to issue")
-		window = flag.Int("window", 16, "requests in flight")
-		size   = flag.Int("size", 32, "request payload bytes")
+		bind      = flag.String("bind", "127.0.0.1:31900", "UDP bind address of endpoint 0; endpoint i binds port+i")
+		node      = flag.Int("node", 100, "this client's eRPC node id (each client process needs its own; the server assigns 100, 101, ... in peer order)")
+		endpoints = flag.Int("endpoints", 1, "client dispatch endpoints")
+		server    = flag.String("server", "127.0.0.1:31850", "server UDP address of its endpoint 0")
+		srvEps    = flag.Int("server-endpoints", 1, "server endpoint count (consecutive UDP ports)")
+		sessions  = flag.Int("sessions", 0, "sessions per client endpoint (0 = one per server endpoint)")
+		n         = flag.Int("n", 100_000, "total requests to issue")
+		window    = flag.Int("window", 16, "requests in flight per client endpoint")
+		size      = flag.Int("size", 32, "request payload bytes")
 	)
 	flag.Parse()
+	if *endpoints <= 0 || *srvEps <= 0 {
+		log.Fatalf("-endpoints and -server-endpoints must be >= 1 (got %d, %d)", *endpoints, *srvEps)
+	}
+	if *sessions < 0 {
+		log.Fatalf("-sessions must be >= 0 (got %d)", *sessions)
+	}
+	if *n <= 0 || *window <= 0 {
+		log.Fatalf("-n and -window must be >= 1 (got %d, %d)", *n, *window)
+	}
+	if *node <= 1 || *node > 0xFFFF {
+		log.Fatalf("-node must be in [2, 65535] (got %d; node 1 is the server)", *node)
+	}
+	if *sessions == 0 {
+		*sessions = *srvEps
+	}
 
-	tr, err := erpc.NewUDPTransport(erpc.Addr{Node: 100, Port: 0}, *bind)
+	host, basePort, err := erpc.SplitHostPort(*bind)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer tr.Close()
-	srvAddr := erpc.Addr{Node: 1, Port: 0}
-	if err := tr.AddPeer(srvAddr, *server); err != nil {
-		log.Fatal(err)
-	}
-
-	rpc := erpc.NewRpc(erpc.NewNexus(), erpc.Config{Transport: tr, Clock: erpc.NewWallClock()})
-	sess, err := rpc.CreateSession(srvAddr)
+	trs, err := erpc.ListenUDP(uint16(*node), host, basePort, *endpoints)
 	if err != nil {
 		log.Fatal(err)
 	}
+	shost, sport, err := erpc.SplitHostPort(*server)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := erpc.AddPeersUDP(trs, 1, shost, sport, *srvEps); err != nil {
+		log.Fatal(err)
+	}
+	serverAddrs := make([]erpc.Addr, *srvEps)
+	for i := range serverAddrs {
+		serverAddrs[i] = erpc.Addr{Node: 1, Port: uint16(i)}
+	}
 
-	rec := stats.NewRecorder(*n)
-	payload := make([]byte, *size)
-	done := 0
-	issued := 0
-	start := time.Now()
-	var issue func()
-	issue = func() {
-		if issued >= *n {
-			return
-		}
-		issued++
-		req := rpc.Alloc(*size)
-		copy(req.Data(), payload)
-		resp := rpc.Alloc(*size + 64)
-		t0 := time.Now()
-		rpc.EnqueueRequest(sess, 3, req, resp, func(err error) {
+	client := erpc.NewClient(erpc.NewNexus(), erpc.UDPConfigs(trs))
+	sess := make([][]*erpc.Session, *endpoints)
+	for i := 0; i < *endpoints; i++ {
+		for k := 0; k < *sessions; k++ {
+			s, err := client.CreateSession(i, serverAddrs)
 			if err != nil {
-				log.Printf("rpc error: %v", err)
-			} else {
-				rec.Add(float64(time.Since(t0).Microseconds()))
+				log.Fatal(err)
 			}
-			done++
-			rpc.Free(req)
-			rpc.Free(resp)
-			issue()
+			sess[i] = append(sess[i], s)
+		}
+	}
+	client.Start()
+
+	recs := make([]*stats.Recorder, *endpoints)
+	var done, failed atomic.Int64
+	finished := make(chan struct{})
+	start := time.Now()
+	for i := 0; i < *endpoints; i++ {
+		r := client.Rpc(i)
+		// Split -n exactly: the first n%endpoints endpoints issue one
+		// extra request.
+		quota := *n / *endpoints
+		if i < *n%*endpoints {
+			quota++
+		}
+		if quota == 0 {
+			continue
+		}
+		recs[i] = stats.NewRecorder(quota)
+		rec := recs[i]
+		mySess := sess[i]
+		r.Post(func() {
+			issued, completed := 0, 0
+			payload := make([]byte, *size)
+			var issue func()
+			issue = func() {
+				if issued >= quota {
+					return
+				}
+				issued++
+				k := issued % len(mySess)
+				req := r.Alloc(*size)
+				copy(req.Data(), payload)
+				resp := r.Alloc(*size + 64)
+				t0 := time.Now()
+				r.EnqueueRequest(mySess[k], 3, req, resp, func(err error) {
+					if err != nil {
+						failed.Add(1)
+						log.Printf("rpc error: %v", err)
+					} else {
+						rec.Add(float64(time.Since(t0).Microseconds()))
+					}
+					r.Free(req)
+					r.Free(resp)
+					completed++
+					if completed == quota {
+						if done.Add(int64(quota)) >= int64(*n) {
+							close(finished)
+						}
+						return
+					}
+					issue()
+				})
+			}
+			for w := 0; w < *window && w < quota; w++ {
+				issue()
+			}
 		})
 	}
-	for i := 0; i < *window; i++ {
-		issue()
-	}
-	for done < *n {
-		if !rpc.RunEventLoopOnce() {
-			rpc.WaitForWork(200 * time.Microsecond)
-		}
-	}
+	<-finished
 	elapsed := time.Since(start)
-	fmt.Printf("completed %d RPCs in %v: %.0f req/s\n", done, elapsed,
-		float64(done)/elapsed.Seconds())
-	fmt.Printf("latency µs: %s\n", rec.Summary())
-	fmt.Printf("retransmits: %d\n", rpc.Stats.Retransmits)
+	client.Stop()
+
+	total := int(done.Load())
+	nfail := int(failed.Load())
+	st := client.Stats()
+	fmt.Printf("completed %d RPCs (%d failed) over %d endpoint(s) in %v: %.0f req/s\n",
+		total-nfail, nfail, *endpoints, elapsed, float64(total-nfail)/elapsed.Seconds())
+	all := stats.NewRecorder(total)
+	for i, rec := range recs {
+		if rec == nil {
+			continue // more endpoints than requests: this one sat idle
+		}
+		fmt.Printf("  endpoint %d:%d latency µs: %s\n", *node, i, rec.Summary())
+		all.Merge(rec)
+	}
+	if *endpoints > 1 {
+		fmt.Printf("overall latency µs: %s\n", all.Summary())
+	}
+	fmt.Printf("retransmits: %d\n", st.Retransmits)
 }

@@ -1,10 +1,18 @@
 // Command erpc-server runs a real eRPC key-value server over UDP: an
 // end-to-end demonstration that the library is usable outside the
-// simulator. Pair it with cmd/erpc-client.
+// simulator. It is a multi-endpoint process (paper §3.1): N dispatch
+// goroutines, each owning one Rpc endpoint on its own UDP socket, all
+// sharing one Nexus and one worker pool. Pair it with cmd/erpc-client.
 //
 // Usage:
 //
-//	erpc-server -bind 127.0.0.1:31850
+//	erpc-server -bind 127.0.0.1:31850 -endpoints 4 127.0.0.1:31900/2
+//
+// binds UDP ports 31850..31853 (one per endpoint) and expects one
+// client process with 2 endpoints at 127.0.0.1:31900 and :31901. Each
+// positional argument host:port/m registers a client process of m
+// endpoints (default 1) at consecutive UDP ports; clients are assigned
+// eRPC node ids 100, 101, ...
 //
 // Request types: 1 = GET (key → value), 2 = PUT (EncodePut(key,value)
 // → 1-byte status), 3 = echo.
@@ -16,14 +24,23 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 
 	"repro/erpc"
 	"repro/internal/kv"
 )
 
 func main() {
-	bind := flag.String("bind", "127.0.0.1:31850", "UDP bind address")
+	var (
+		bind      = flag.String("bind", "127.0.0.1:31850", "UDP bind address of endpoint 0; endpoint i binds port+i")
+		endpoints = flag.Int("endpoints", 1, "dispatch endpoints (one UDP socket + goroutine each)")
+		workers   = flag.Int("workers", 0, "shared worker pool size for long-running handlers (0 = GOMAXPROCS)")
+	)
 	flag.Parse()
+	if *endpoints <= 0 {
+		log.Fatalf("-endpoints must be >= 1 (got %d)", *endpoints)
+	}
 
 	store := kv.New()
 	nx := erpc.NewNexus()
@@ -50,32 +67,62 @@ func main() {
 		ctx.EnqueueResponse()
 	}})
 
-	tr, err := erpc.NewUDPTransport(erpc.Addr{Node: 1, Port: 0}, *bind)
+	host, basePort, err := erpc.SplitHostPort(*bind)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer tr.Close()
-	fmt.Printf("erpc-server listening on %s (eRPC address 1:0)\n", tr.BoundAddr())
+	trs, err := erpc.ListenUDP(1, host, basePort, *endpoints)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, tr := range trs {
+		defer tr.Close()
+		fmt.Printf("endpoint 1:%d listening on %s\n", i, tr.BoundAddr())
+	}
 
 	// The UDP transport resolves eRPC addresses through a static peer
 	// table (it stands in for eRPC's sockets-based session management
-	// plane), so client UDP addresses are listed as positional
-	// arguments and assigned eRPC node ids 100, 101, ...
+	// plane). Each positional argument host:port/m is one client
+	// process of m endpoints at consecutive ports.
 	for i, peer := range flag.Args() {
-		if err := tr.AddPeer(erpc.Addr{Node: uint16(100 + i), Port: 0}, peer); err != nil {
+		addr, n, err := splitPeer(peer)
+		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("peer %d:0 -> %s\n", 100+i, peer)
+		phost, pport, err := erpc.SplitHostPort(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := erpc.AddPeersUDP(trs, uint16(100+i), phost, pport, n); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("peer node %d: %d endpoint(s) at %s\n", 100+i, n, addr)
 	}
 
-	rpc := erpc.NewRpc(nx, erpc.Config{Transport: tr, Clock: erpc.NewWallClock()})
-	stop := make(chan struct{})
-	go func() {
-		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt)
-		<-ch
-		close(stop)
-	}()
-	rpc.RunEventLoop(stop)
-	fmt.Printf("served %d handlers, store holds %d keys\n", rpc.Stats.HandlersRun, store.Len())
+	server := erpc.NewServer(nx, erpc.UDPConfigs(trs), *workers)
+	server.Start()
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	server.Stop()
+	st := server.Stats()
+	fmt.Printf("served %d handlers across %d endpoints, store holds %d keys\n",
+		st.HandlersRun, server.NumEndpoints(), store.Len())
+	for i := 0; i < server.NumEndpoints(); i++ {
+		fmt.Printf("  endpoint 1:%d handled %d\n", i, server.Rpc(i).Stats.HandlersRun)
+	}
+}
+
+// splitPeer parses "host:port/m" into the base address and endpoint
+// count (default 1).
+func splitPeer(s string) (string, int, error) {
+	addr, ms, found := strings.Cut(s, "/")
+	if !found {
+		return addr, 1, nil
+	}
+	m, err := strconv.Atoi(ms)
+	if err != nil || m <= 0 {
+		return "", 0, fmt.Errorf("bad endpoint count in peer %q", s)
+	}
+	return addr, m, nil
 }

@@ -34,6 +34,10 @@
 package erpc
 
 import (
+	"fmt"
+	"net"
+	"strconv"
+
 	"repro/internal/core"
 	"repro/internal/msgbuf"
 	"repro/internal/sim"
@@ -45,6 +49,15 @@ import (
 type (
 	// Rpc is an RPC endpoint owned by one dispatch thread.
 	Rpc = core.Rpc
+	// Server is a multi-endpoint serving process: N dispatch
+	// goroutines, each owning one Rpc endpoint, sharing one sealed
+	// Nexus and one worker pool.
+	Server = core.Server
+	// Client is the requester-side counterpart of Server; it stripes
+	// sessions across a server's endpoints by flow hash.
+	Client = core.Client
+	// WorkerPool runs RunInWorker handlers for a process's endpoints.
+	WorkerPool = core.WorkerPool
 	// Config configures an Rpc endpoint.
 	Config = core.Config
 	// Nexus is the per-process request handler registry.
@@ -110,4 +123,107 @@ func NewWallClock() Clock { return sim.NewWallClock() }
 // transport to map remote endpoint addresses to UDP addresses.
 func NewUDPTransport(addr Addr, bind string) (*transport.UDP, error) {
 	return transport.NewUDP(addr, bind)
+}
+
+// NewServer builds a multi-endpoint server: one Rpc per Config (each
+// Config carries its own Transport), one dispatch goroutine per
+// endpoint after Start, a shared pool of `workers` goroutines for
+// RunInWorker handlers (<= 0 means GOMAXPROCS).
+func NewServer(nexus *Nexus, cfgs []Config, workers int) *Server {
+	return core.NewServer(nexus, cfgs, workers)
+}
+
+// NewClient builds the requester-side endpoint group. Use
+// Client.CreateSession to stripe sessions across a server's endpoints.
+func NewClient(nexus *Nexus, cfgs []Config) *Client {
+	return core.NewClient(nexus, cfgs)
+}
+
+// NewWorkerPool starts a standalone pool of n worker goroutines
+// (<= 0 means GOMAXPROCS) for Config.Pool.
+func NewWorkerPool(n int) *WorkerPool { return core.NewWorkerPool(n) }
+
+// StripeAddr picks the remote endpoint for the k-th session from
+// local, striping by flow hash (see core.StripeAddr).
+func StripeAddr(local Addr, remotes []Addr, k int) Addr {
+	return core.StripeAddr(local, remotes, k)
+}
+
+// ListenUDP binds n UDP sockets for the endpoints (node, 0..n-1) of a
+// multi-endpoint process at host:basePort .. host:basePort+n-1 (or n
+// ephemeral ports when basePort is 0). On error, already-bound sockets
+// are closed.
+func ListenUDP(node uint16, host string, basePort, n int) ([]*transport.UDP, error) {
+	var trs []*transport.UDP
+	for i := 0; i < n; i++ {
+		port := 0
+		if basePort != 0 {
+			port = basePort + i
+		}
+		u, err := transport.NewUDP(Addr{Node: node, Port: uint16(i)},
+			net.JoinHostPort(host, strconv.Itoa(port)))
+		if err != nil {
+			for _, t := range trs {
+				t.Close()
+			}
+			return nil, err
+		}
+		trs = append(trs, u)
+	}
+	return trs, nil
+}
+
+// UDPConfigs returns one endpoint Config per transport, with a wall
+// clock — the usual real-transport process setup.
+func UDPConfigs(trs []*transport.UDP) []Config {
+	cfgs := make([]Config, len(trs))
+	for i, tr := range trs {
+		cfgs[i] = Config{Transport: tr, Clock: NewWallClock()}
+	}
+	return cfgs
+}
+
+// SplitHostPort parses "host:port" into host and numeric port — the
+// inverse of the joining ListenUDP and AddPeersUDP do internally.
+func SplitHostPort(s string) (string, int, error) {
+	host, ps, err := net.SplitHostPort(s)
+	if err != nil {
+		return "", 0, fmt.Errorf("erpc: bad address %q: %w", s, err)
+	}
+	port, err := strconv.Atoi(ps)
+	if err != nil {
+		return "", 0, fmt.Errorf("erpc: bad port in %q: %w", s, err)
+	}
+	return host, port, nil
+}
+
+// AddPeerAll maps the remote endpoint's eRPC address to its UDP
+// address on every local transport.
+func AddPeerAll(locals []*transport.UDP, remote Addr, udpAddr string) error {
+	for _, l := range locals {
+		if err := l.AddPeer(remote, udpAddr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddPeersUDP maps the n endpoints (remoteNode, 0..n-1) of a remote
+// multi-endpoint process, listening at consecutive UDP ports starting
+// at basePort, onto every local transport.
+func AddPeersUDP(locals []*transport.UDP, remoteNode uint16, host string, basePort, n int) error {
+	for i := 0; i < n; i++ {
+		addr := net.JoinHostPort(host, strconv.Itoa(basePort+i))
+		if err := AddPeerAll(locals, Addr{Node: remoteNode, Port: uint16(i)}, addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewFaultyTransport wraps t with send-side fault injection (drops,
+// duplicates, reordering) for adversity testing; see
+// transport.Faulty.
+func NewFaultyTransport(t Transport, seed int64, drop, dup, reorder float64) *transport.Faulty {
+	return transport.NewFaulty(t, seed, drop, dup, reorder)
 }

@@ -1,7 +1,9 @@
-// Quickstart: a real eRPC server and client over UDP loopback in one
-// process. Demonstrates the core API: Nexus handler registration,
-// session creation, asynchronous requests with continuations, and the
-// event loop.
+// Quickstart: a real multi-endpoint eRPC server and a client over UDP
+// loopback in one process. Demonstrates the core API: Nexus handler
+// registration, the multi-endpoint Server runtime (N dispatch
+// goroutines sharing one Nexus, paper §3.1), flow-hash session
+// striping, asynchronous requests with continuations, and the event
+// loop.
 //
 //	go run ./examples/quickstart
 package main
@@ -9,15 +11,20 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync/atomic"
 	"time"
 
 	"repro/erpc"
 )
 
-const reqEcho = 1
+const (
+	reqEcho = 1
+	srvEps  = 2 // server dispatch endpoints (one goroutine + socket each)
+)
 
 func main() {
-	// 1. Register handlers (one Nexus per process).
+	// 1. Register handlers (one Nexus per process; the table seals at
+	// the first endpoint, so all endpoints share it lock-free).
 	nx := erpc.NewNexus()
 	nx.Register(reqEcho, erpc.Handler{Fn: func(ctx *erpc.ReqContext) {
 		out := ctx.AllocResponse(len(ctx.Req))
@@ -25,68 +32,87 @@ func main() {
 		ctx.EnqueueResponse()
 	}})
 
-	// 2. Bind two endpoints on loopback and introduce them.
-	srvAddr := erpc.Addr{Node: 1, Port: 0}
-	cliAddr := erpc.Addr{Node: 0, Port: 0}
-	srvTr, err := erpc.NewUDPTransport(srvAddr, "127.0.0.1:0")
+	// 2. Bind the server's endpoints and the client endpoint on
+	// loopback, and introduce them (the static peer table stands in
+	// for eRPC's session-management plane).
+	srvTrs, err := erpc.ListenUDP(1, "127.0.0.1", 0, srvEps)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srvTr.Close()
-	cliTr, err := erpc.NewUDPTransport(cliAddr, "127.0.0.1:0")
+	cliTrs, err := erpc.ListenUDP(100, "127.0.0.1", 0, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cliTr.Close()
-	srvTr.AddPeer(cliAddr, cliTr.BoundAddr().String())
-	cliTr.AddPeer(srvAddr, srvTr.BoundAddr().String())
-
-	// 3. Server: its own goroutine owns the Rpc endpoint.
-	stop := make(chan struct{})
-	defer close(stop)
-	go func() {
-		srv := erpc.NewRpc(nx, erpc.Config{Transport: srvTr, Clock: erpc.NewWallClock()})
-		srv.RunEventLoop(stop)
-	}()
-
-	// 4. Client: create a session and issue asynchronous RPCs.
-	cli := erpc.NewRpc(nx, erpc.Config{Transport: cliTr, Clock: erpc.NewWallClock()})
-	sess, err := cli.CreateSession(srvAddr)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	const n = 1000
-	done := 0
-	var firstLatency time.Duration
-	req := cli.Alloc(26)
-	resp := cli.Alloc(64)
-	copy(req.Data(), "abcdefghijklmnopqrstuvwxyz")
-	start := time.Now()
-	var issue func()
-	issue = func() {
-		t0 := time.Now()
-		cli.EnqueueRequest(sess, reqEcho, req, resp, func(err error) {
-			if err != nil {
-				log.Fatalf("rpc failed: %v", err)
-			}
-			if done == 0 {
-				firstLatency = time.Since(t0)
-				fmt.Printf("first echo: %q (%.1f µs)\n", resp.Data(), float64(firstLatency.Nanoseconds())/1000)
-			}
-			done++
-			if done < n {
-				issue()
-			}
-		})
-	}
-	issue()
-	for done < n {
-		if !cli.RunEventLoopOnce() {
-			cli.WaitForWork(200 * time.Microsecond)
+	for _, s := range srvTrs {
+		if err := erpc.AddPeerAll(cliTrs, s.LocalAddr(), s.BoundAddr().String()); err != nil {
+			log.Fatal(err)
 		}
 	}
+	for _, c := range cliTrs {
+		if err := erpc.AddPeerAll(srvTrs, c.LocalAddr(), c.BoundAddr().String()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 3. Server: N dispatch goroutines, each owning one Rpc endpoint.
+	server := erpc.NewServer(nx, erpc.UDPConfigs(srvTrs), 0)
+	server.Start()
+
+	// 4. Client: sessions striped across the server's endpoints by
+	// flow hash, so load spreads over its dispatch threads.
+	client := erpc.NewClient(nx, erpc.UDPConfigs(cliTrs))
+	var sessions []*erpc.Session
+	for k := 0; k < srvEps; k++ {
+		s, err := client.CreateSession(0, server.Addrs())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+	client.Start()
+
+	// 5. Issue asynchronous RPCs from the endpoint's dispatch context
+	// (Post injects the closure into its event loop).
+	const n = 1000
+	var done atomic.Int32
+	finished := make(chan struct{})
+	start := time.Now()
+	cli := client.Rpc(0)
+	cli.Post(func() {
+		req := cli.Alloc(26)
+		resp := cli.Alloc(64)
+		copy(req.Data(), "abcdefghijklmnopqrstuvwxyz")
+		issued := 0
+		var issue func()
+		issue = func() {
+			issued++
+			t0 := time.Now()
+			cli.EnqueueRequest(sessions[issued%len(sessions)], reqEcho, req, resp, func(err error) {
+				if err != nil {
+					log.Fatalf("rpc failed: %v", err)
+				}
+				if done.Load() == 0 {
+					fmt.Printf("first echo: %q (%.1f µs)\n", resp.Data(),
+						float64(time.Since(t0).Nanoseconds())/1000)
+				}
+				if done.Add(1) == n {
+					close(finished)
+					return
+				}
+				issue()
+			})
+		}
+		issue()
+	})
+	<-finished
 	elapsed := time.Since(start)
+	client.Stop()
+	server.Stop()
+
 	fmt.Printf("%d echo RPCs over UDP loopback in %v (%.0f req/s)\n",
 		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+	for i := 0; i < server.NumEndpoints(); i++ {
+		fmt.Printf("server endpoint 1:%d handled %d requests\n",
+			i, server.Rpc(i).Stats.HandlersRun)
+	}
 }

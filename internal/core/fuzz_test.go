@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// fuzzFrame encodes h followed by payload data.
+func fuzzFrame(h wire.Header, payload []byte) []byte {
+	buf := make([]byte, wire.HeaderSize+len(payload))
+	if err := h.Encode(buf); err != nil {
+		panic(err)
+	}
+	copy(buf[wire.HeaderSize:], payload)
+	return buf
+}
+
+// FuzzProcessPkt throws arbitrary frames at both halves of the RX path
+// — the server half (request/RFR handling, lazy session creation) and
+// the client half (response/CR handling against a busy slot) — and
+// then checks the endpoints still complete a well-formed RPC. The RX
+// path must never panic or wedge on malformed, stale, replayed or
+// hostile packets: it sits directly behind the unauthenticated
+// datagram socket.
+func FuzzProcessPkt(f *testing.F) {
+	payload := []byte("0123456789abcdef")
+	seeds := [][]byte{
+		fuzzFrame(wire.Header{PktType: wire.PktReq, ReqType: echoType, MsgSize: 16, PktNum: 0, ReqNum: 8}, payload),
+		fuzzFrame(wire.Header{PktType: wire.PktReq, ReqType: echoType, MsgSize: 5000, PktNum: 0, ReqNum: 16}, payload),
+		fuzzFrame(wire.Header{PktType: wire.PktResp, ReqType: echoType, MsgSize: 16, PktNum: 0, ReqNum: 8}, payload),
+		fuzzFrame(wire.Header{PktType: wire.PktCR, ReqType: echoType, MsgSize: 5000, PktNum: 1, ReqNum: 8}, nil),
+		fuzzFrame(wire.Header{PktType: wire.PktRFR, ReqType: echoType, MsgSize: 16, PktNum: 1, ReqNum: 8}, nil),
+		fuzzFrame(wire.Header{PktType: wire.PktPing}, nil),
+		fuzzFrame(wire.Header{PktType: wire.PktResp, ReqType: echoType, MsgSize: 1 << 23, PktNum: 0, ReqNum: 8}, payload),
+		{0xE5, 0xFF},
+		nil,
+	}
+	for _, s := range seeds {
+		f.Add(s, s)
+	}
+	f.Fuzz(func(t *testing.T, toServer, toClient []byte) {
+		sched := sim.NewScheduler(3)
+		fab, err := simnet.New(sched, simnet.Config{Profile: simnet.CX4(), Topology: simnet.SingleSwitch(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nx := echoNexus()
+		mk := func(node int) *Rpc {
+			return NewRpc(nx, Config{
+				Transport: fab.AttachEndpoint(node), Clock: sched, Sched: sched, LinkRateGbps: 25,
+			})
+		}
+		cli, srv := mk(0), mk(1)
+		s, err := cli.CreateSession(srv.LocalAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Put a request in flight so the fuzzed "response" frames can
+		// hit a busy client slot. A hostile frame may legitimately
+		// wedge or fail this request (e.g. a spoofed higher request
+		// number clobbers its server slot — the paper's protocol
+		// assumes authentic packets), so only bounded time and a clean
+		// teardown are asserted for it, not completion.
+		req, resp := cli.Alloc(2000), cli.Alloc(4096)
+		cli.EnqueueRequest(s, echoType, req, resp, func(error) {})
+
+		// Inject the fuzz frames from plausible and implausible
+		// sources, interleaved with the live exchange.
+		srv.processPkt(toServer, cli.LocalAddr())
+		srv.processPkt(toServer, transport.Addr{Node: 55, Port: 9}) // spoofed stranger
+		cli.processPkt(toClient, srv.LocalAddr())
+		sched.RunUntil(20 * sim.Millisecond)
+
+		// The client must tear down cleanly, and the server must keep
+		// serving fresh clients. (A spoofed frame can poison the lazy
+		// server-side state of the *old* client address — sessions are
+		// created on first packet, standing in for eRPC's connect
+		// handshake — so the recovery probe uses a new endpoint.)
+		cli.DestroySession(s)
+		cli2 := mk(0)
+		s2, err := cli2.CreateSession(srv.LocalAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := false
+		req2, resp2 := cli2.Alloc(32), cli2.Alloc(64)
+		cli2.EnqueueRequest(s2, echoType, req2, resp2, func(err error) {
+			if err != nil {
+				t.Errorf("post-fuzz rpc failed: %v", err)
+			}
+			done = true
+		})
+		sched.RunUntil(40 * sim.Millisecond)
+		if !done {
+			t.Fatal("RPC from a fresh client did not complete after fuzzed packet injection")
+		}
+	})
+}

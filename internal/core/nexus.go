@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -32,7 +33,7 @@ type Handler struct {
 // table is read-only afterwards (eRPC has the same rule).
 type Nexus struct {
 	handlers [256]*Handler
-	sealed   bool
+	sealed   atomic.Bool
 }
 
 // NewNexus returns an empty handler registry.
@@ -41,7 +42,7 @@ func NewNexus() *Nexus { return &Nexus{} }
 // Register installs h for reqType. It panics if reqType is already
 // registered or endpoints were already created.
 func (n *Nexus) Register(reqType uint8, h Handler) {
-	if n.sealed {
+	if n.sealed.Load() {
 		panic("erpc: Register after Rpc creation")
 	}
 	if h.Fn == nil {
@@ -54,7 +55,12 @@ func (n *Nexus) Register(reqType uint8, h Handler) {
 	n.handlers[reqType] = &hc
 }
 
+// seal freezes the handler table. NewRpc calls it, so the table is
+// immutable before any dispatch goroutine can look up handlers: the
+// endpoints of a multi-endpoint process read it concurrently without
+// synchronization.
+func (n *Nexus) seal() { n.sealed.Store(true) }
+
 func (n *Nexus) handler(reqType uint8) *Handler {
-	n.sealed = true
 	return n.handlers[reqType]
 }

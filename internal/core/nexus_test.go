@@ -1,0 +1,47 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestNexusConcurrentHandlerLookup exercises the multi-endpoint
+// contract: once any Rpc endpoint exists the handler table is sealed
+// and immutable, so dispatch goroutines may look up handlers
+// concurrently. Run with -race (the CI default): the old lazy-seal
+// implementation wrote n.sealed on every lookup and raced here.
+func TestNexusConcurrentHandlerLookup(t *testing.T) {
+	nx := NewNexus()
+	for i := 0; i < 16; i++ {
+		i := i
+		nx.Register(uint8(i), Handler{Fn: func(*ReqContext) {}, RunInWorker: i%2 == 0})
+	}
+	nx.seal() // what NewRpc does
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				if h := nx.handler(uint8(i % 32)); i%32 < 16 && h == nil {
+					t.Error("registered handler not found")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNexusRegisterAfterSealPanics(t *testing.T) {
+	nx := NewNexus()
+	nx.Register(1, Handler{Fn: func(*ReqContext) {}})
+	nx.seal()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register after seal should panic")
+		}
+	}()
+	nx.Register(2, Handler{Fn: func(*ReqContext) {}})
+}

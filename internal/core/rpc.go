@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/carousel"
@@ -78,6 +79,12 @@ type Config struct {
 	TimelyParams timely.Params
 	// Opts toggles the common-case optimizations (Table 3).
 	Opts Opts
+	// Pool, when non-nil, runs RunInWorker handlers on a shared
+	// worker pool instead of one goroutine per request. A Server's
+	// endpoints share one pool (paper §3.2: worker threads are a
+	// process-wide resource). Real-transport mode only; ignored in
+	// simulation mode, where workers are modeled by the scheduler.
+	Pool *WorkerPool
 	// HeartbeatInterval enables session-management heartbeats for
 	// node failure detection when non-zero (Appendix B).
 	HeartbeatInterval sim.Time
@@ -176,8 +183,10 @@ type Rpc struct {
 	lastRTOScan sim.Time
 
 	workerDone []*ReqContext // sim mode: completed worker handlers
-	workerCh   chan *ReqContext
 	wakeCh     chan struct{}
+
+	postedMu sync.Mutex
+	posted   []func() // closures injected via Post, drained by the loop
 
 	lastHeard map[uint16]sim.Time // per-node liveness (Appendix B)
 	lastHB    sim.Time
@@ -196,9 +205,12 @@ type Rpc struct {
 }
 
 // NewRpc creates an endpoint. The Nexus's handlers become this
-// endpoint's request handlers.
+// endpoint's request handlers; the handler table is sealed (immutable)
+// from this point on, so any number of endpoints can share it without
+// synchronization.
 func NewRpc(nexus *Nexus, cfg Config) *Rpc {
 	cfg.setDefaults()
+	nexus.seal()
 	dataPerPkt := cfg.Transport.MTU() - wire.HeaderSize
 	if dataPerPkt <= 0 {
 		panic("erpc: transport MTU too small for header")
@@ -216,7 +228,6 @@ func NewRpc(nexus *Nexus, cfg Config) *Rpc {
 		alloc:       msgbuf.NewAllocator(dataPerPkt),
 		srvSessions: map[sessKey]*Session{},
 		wheel:       carousel.New[wheelEntry](wheelSlots, wheelGran),
-		workerCh:    make(chan *ReqContext, 1024),
 		wakeCh:      make(chan struct{}, 1),
 		lastHeard:   map[uint16]sim.Time{},
 		scratch:     make([]byte, cfg.Transport.MTU()),
@@ -539,6 +550,10 @@ func (r *Rpc) RunEventLoop(stop <-chan struct{}) {
 	for {
 		select {
 		case <-stop:
+			// One final iteration: deliver work posted while stopping
+			// (e.g. worker completions published during Server.Stop),
+			// so drained handlers get their responses out.
+			r.runOnce()
 			return
 		default:
 		}
@@ -548,12 +563,51 @@ func (r *Rpc) RunEventLoop(stop <-chan struct{}) {
 	}
 }
 
-// runOnce is one event-loop iteration: drain the rate limiter, the RX
-// queue and worker completions, then run the RTO scan and management
-// timers (paper §3.1: "the event loop performs the bulk of eRPC's
-// work").
+// Post schedules fn to run on the endpoint's dispatch context during
+// the next event-loop iteration. It is the only Rpc method that may be
+// called from any goroutine; everything else (EnqueueRequest, Alloc,
+// CreateSession, ...) must run on the dispatch context, so application
+// code outside the loop goroutine injects work through Post.
+func (r *Rpc) Post(fn func()) {
+	if r.sched != nil {
+		// Simulation mode is single-goroutine: callers are already on
+		// the scheduler context.
+		r.posted = append(r.posted, fn)
+		r.scheduleRun()
+		return
+	}
+	r.postedMu.Lock()
+	r.posted = append(r.posted, fn)
+	r.postedMu.Unlock()
+	r.onTransportWake()
+}
+
+// drainPosted runs closures injected via Post.
+func (r *Rpc) drainPosted() {
+	if r.sched != nil {
+		for len(r.posted) > 0 {
+			fn := r.posted[0]
+			r.posted = r.posted[:copy(r.posted, r.posted[1:])]
+			fn()
+		}
+		return
+	}
+	r.postedMu.Lock()
+	fns := r.posted
+	r.posted = nil
+	r.postedMu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// runOnce is one event-loop iteration: drain injected closures, the
+// rate limiter, the RX queue and worker completions, then run the RTO
+// scan and management timers (paper §3.1: "the event loop performs the
+// bulk of eRPC's work").
 func (r *Rpc) runOnce() {
 	r.batchTS = r.now()
+	r.drainPosted()
 	r.pollWheel()
 	r.pollRX()
 	r.drainWorkers()
@@ -577,24 +631,14 @@ func (r *Rpc) pollRX() {
 }
 
 // drainWorkers completes handler executions returned by worker
-// threads (§3.2).
+// threads (§3.2). In real-transport mode workers publish completions
+// through Post, so only the simulation-mode queue is drained here.
 func (r *Rpc) drainWorkers() {
-	if r.sched != nil {
-		for len(r.workerDone) > 0 {
-			ctx := r.workerDone[0]
-			r.workerDone = r.workerDone[:copy(r.workerDone, r.workerDone[1:])]
-			r.charge(r.cost.WorkerReturn)
-			r.sendQueuedResponse(ctx)
-		}
-		return
-	}
-	for {
-		select {
-		case ctx := <-r.workerCh:
-			r.sendQueuedResponse(ctx)
-		default:
-			return
-		}
+	for len(r.workerDone) > 0 {
+		ctx := r.workerDone[0]
+		r.workerDone = r.workerDone[:copy(r.workerDone, r.workerDone[1:])]
+		r.charge(r.cost.WorkerReturn)
+		r.sendQueuedResponse(ctx)
 	}
 }
 

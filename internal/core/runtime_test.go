@@ -1,0 +1,407 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// udpPair binds ns server and nc client UDP endpoints on loopback and
+// wires every peer relationship both ways.
+func udpPair(t *testing.T, ns, nc int) (srv, cli []*transport.UDP) {
+	t.Helper()
+	for i := 0; i < ns; i++ {
+		u, err := transport.NewUDP(transport.Addr{Node: 1, Port: uint16(i)}, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { u.Close() })
+		srv = append(srv, u)
+	}
+	for i := 0; i < nc; i++ {
+		u, err := transport.NewUDP(transport.Addr{Node: 100, Port: uint16(i)}, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { u.Close() })
+		cli = append(cli, u)
+	}
+	for _, s := range srv {
+		for _, c := range cli {
+			if err := s.AddPeer(c.LocalAddr(), c.BoundAddr().String()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, c := range cli {
+		for _, s := range srv {
+			if err := c.AddPeer(s.LocalAddr(), s.BoundAddr().String()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return srv, cli
+}
+
+func realConfigs(trs []*transport.UDP) []Config {
+	cfgs := make([]Config, len(trs))
+	for i, tr := range trs {
+		cfgs[i] = Config{Transport: tr, Clock: sim.NewWallClock()}
+	}
+	return cfgs
+}
+
+// TestServerClientOverUDP runs the full multi-endpoint runtime over
+// real UDP loopback: 4 server dispatch goroutines, 2 client dispatch
+// goroutines, sessions striped across the server's endpoints by flow
+// hash. Run with -race: this is the concurrency soak for the runtime.
+func TestServerClientOverUDP(t *testing.T) {
+	const (
+		srvEps  = 4
+		cliEps  = 2
+		perSess = 20
+	)
+	nx := NewNexus()
+	nx.Register(1, Handler{Fn: func(ctx *ReqContext) {
+		out := ctx.AllocResponse(len(ctx.Req))
+		copy(out, ctx.Req)
+		ctx.EnqueueResponse()
+	}})
+
+	srvTrs, cliTrs := udpPair(t, srvEps, cliEps)
+	server := NewServer(nx, realConfigs(srvTrs), 2)
+	client := NewClient(nx, realConfigs(cliTrs))
+
+	// Each client endpoint opens one session per server endpoint; the
+	// stripe rotation guarantees full coverage.
+	sessions := make([][]*Session, cliEps)
+	for i := 0; i < cliEps; i++ {
+		for k := 0; k < srvEps; k++ {
+			s, err := client.CreateSession(i, server.Addrs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sessions[i] = append(sessions[i], s)
+		}
+	}
+
+	server.Start()
+	client.Start()
+
+	total := int64(cliEps * srvEps * perSess)
+	var done atomic.Int64
+	finished := make(chan struct{})
+	for i := 0; i < cliEps; i++ {
+		i := i
+		r := client.Rpc(i)
+		r.Post(func() {
+			for _, s := range sessions[i] {
+				s := s
+				req, resp := r.Alloc(16), r.Alloc(64)
+				left := perSess
+				var issue func()
+				issue = func() {
+					r.EnqueueRequest(s, 1, req, resp, func(err error) {
+						if err != nil {
+							t.Errorf("rpc: %v", err)
+						}
+						left--
+						if left > 0 {
+							issue()
+							return
+						}
+						r.Free(req)
+						r.Free(resp)
+						if done.Add(perSess) == total {
+							close(finished)
+						}
+					})
+				}
+				issue()
+			}
+		})
+	}
+
+	select {
+	case <-finished:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("timed out: %d of %d RPCs done", done.Load(), total)
+	}
+	client.Stop()
+	server.Stop()
+
+	if got := server.Stats().HandlersRun; got != uint64(total) {
+		t.Fatalf("handlers run = %d, want %d", got, total)
+	}
+	for i := 0; i < srvEps; i++ {
+		if server.Rpc(i).Stats.HandlersRun == 0 {
+			t.Fatalf("server endpoint %d got no requests: striping failed (per-endpoint: %v)",
+				i, perEndpointHandlers(server))
+		}
+	}
+	if client.Stats().ReqsCompleted != uint64(total) {
+		t.Fatalf("client completed = %d, want %d", client.Stats().ReqsCompleted, total)
+	}
+}
+
+func perEndpointHandlers(s *Server) []uint64 {
+	var out []uint64
+	for i := 0; i < s.NumEndpoints(); i++ {
+		out = append(out, s.Rpc(i).Stats.HandlersRun)
+	}
+	return out
+}
+
+// TestWorkerPoolSharedAndBounded checks that RunInWorker handlers of
+// every endpoint execute on the server's shared pool: with 2 workers,
+// no more than 2 handlers may run at once even though 8 requests are
+// outstanding across 2 endpoints.
+func TestWorkerPoolSharedAndBounded(t *testing.T) {
+	const (
+		srvEps  = 2
+		workers = 2
+		nreqs   = 8
+	)
+	var cur, peak atomic.Int32
+	nx := NewNexus()
+	nx.Register(1, Handler{RunInWorker: true, Fn: func(ctx *ReqContext) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		cur.Add(-1)
+		out := ctx.AllocResponse(1)
+		out[0] = 'w'
+		ctx.EnqueueResponse()
+	}})
+
+	srvTrs, cliTrs := udpPair(t, srvEps, 1)
+	server := NewServer(nx, realConfigs(srvTrs), workers)
+	client := NewClient(nx, realConfigs(cliTrs))
+	var sess []*Session
+	for k := 0; k < srvEps; k++ {
+		s, err := client.CreateSession(0, server.Addrs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess = append(sess, s)
+	}
+	server.Start()
+	client.Start()
+
+	var done atomic.Int32
+	finished := make(chan struct{})
+	r := client.Rpc(0)
+	r.Post(func() {
+		for i := 0; i < nreqs; i++ {
+			req, resp := r.Alloc(8), r.Alloc(8)
+			r.EnqueueRequest(sess[i%len(sess)], 1, req, resp, func(err error) {
+				if err != nil {
+					t.Errorf("rpc: %v", err)
+				}
+				if done.Add(1) == nreqs {
+					close(finished)
+				}
+			})
+		}
+	})
+	select {
+	case <-finished:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("timed out: %d of %d done", done.Load(), nreqs)
+	}
+	client.Stop()
+	server.Stop()
+
+	if got := server.Stats().WorkerHandlers; got != nreqs {
+		t.Fatalf("worker handlers = %d, want %d", got, nreqs)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak worker concurrency %d exceeds pool size %d", p, workers)
+	}
+}
+
+// TestServerStopWithPendingWorkers: Stop must not deadlock while
+// RunInWorker handlers are queued or running — the pool drains (and
+// completions flow through the still-running dispatch loops) before
+// the loops halt.
+func TestServerStopWithPendingWorkers(t *testing.T) {
+	var started atomic.Int32
+	nx := NewNexus()
+	nx.Register(1, Handler{RunInWorker: true, Fn: func(ctx *ReqContext) {
+		started.Add(1)
+		time.Sleep(3 * time.Millisecond)
+		out := ctx.AllocResponse(1)
+		out[0] = 'x'
+		ctx.EnqueueResponse()
+	}})
+	srvTrs, cliTrs := udpPair(t, 1, 1)
+	server := NewServer(nx, realConfigs(srvTrs), 1)
+	client := NewClient(nx, realConfigs(cliTrs))
+	sess, err := client.CreateSession(0, server.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.Start()
+	client.Start()
+	r := client.Rpc(0)
+	r.Post(func() {
+		for i := 0; i < 6; i++ {
+			r.EnqueueRequest(sess, 1, r.Alloc(4), r.Alloc(4), func(error) {})
+		}
+	})
+	for started.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	stopped := make(chan struct{})
+	go func() {
+		server.Stop()
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+	case <-time.After(20 * time.Second):
+		t.Fatal("Server.Stop deadlocked with pending worker handlers")
+	}
+	client.Stop()
+}
+
+// TestServerSimMode runs the same runtime shape on the simulated
+// fabric: one simnet port per endpoint, the scheduler driving all
+// dispatch loops, sessions striped across the server's endpoints.
+func TestServerSimMode(t *testing.T) {
+	const srvEps = 4
+	sched := sim.NewScheduler(7)
+	fab, err := simnet.New(sched, simnet.Config{Profile: simnet.CX4(), Topology: simnet.SingleSwitch(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nx := NewNexus()
+	nx.Register(1, Handler{Fn: func(ctx *ReqContext) {
+		out := ctx.AllocResponse(len(ctx.Req))
+		copy(out, ctx.Req)
+		ctx.EnqueueResponse()
+	}})
+	simCfg := func(node int) Config {
+		return Config{
+			Transport: fab.AttachEndpoint(node), Clock: sched, Sched: sched, LinkRateGbps: 25,
+		}
+	}
+	var srvCfgs []Config
+	for i := 0; i < srvEps; i++ {
+		srvCfgs = append(srvCfgs, simCfg(0))
+	}
+	server := NewServer(nx, srvCfgs, 0)
+	client := NewClient(nx, []Config{simCfg(1)})
+	server.Start() // no-op in sim mode
+	client.Start()
+
+	const perSess = 10
+	done := 0
+	for k := 0; k < srvEps; k++ {
+		s, err := client.CreateSession(0, server.Addrs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := client.Rpc(0)
+		for i := 0; i < perSess; i++ {
+			req, resp := r.Alloc(16), r.Alloc(32)
+			r.EnqueueRequest(s, 1, req, resp, func(err error) {
+				if err != nil {
+					t.Errorf("rpc: %v", err)
+				}
+				done++
+			})
+		}
+	}
+	sched.Run()
+	if done != srvEps*perSess {
+		t.Fatalf("completed %d of %d", done, srvEps*perSess)
+	}
+	for i := 0; i < srvEps; i++ {
+		if got := server.Rpc(i).Stats.HandlersRun; got != perSess {
+			t.Fatalf("sim endpoint %d ran %d handlers, want %d (per-endpoint: %v)",
+				i, got, perSess, perEndpointHandlers(server))
+		}
+	}
+}
+
+// TestStripeAddrCoversAll: the stripe rotation must visit every remote
+// endpoint exactly once per len(remotes) sessions, from any local
+// address.
+func TestStripeAddrCoversAll(t *testing.T) {
+	remotes := []transport.Addr{{Node: 1, Port: 0}, {Node: 1, Port: 1}, {Node: 1, Port: 2}, {Node: 1, Port: 3}}
+	for _, local := range []transport.Addr{{Node: 100, Port: 0}, {Node: 100, Port: 1}, {Node: 7, Port: 3}} {
+		seen := map[transport.Addr]int{}
+		for k := 0; k < len(remotes); k++ {
+			seen[StripeAddr(local, remotes, k)]++
+		}
+		for _, r := range remotes {
+			if seen[r] != 1 {
+				t.Fatalf("local %v: remote %v chosen %d times in one rotation", local, r, seen[r])
+			}
+		}
+	}
+}
+
+// TestPostRunsOnDispatchContext: Post from a foreign goroutine must
+// execute the closure on the endpoint's loop goroutine, not inline.
+func TestPostRunsOnDispatchContext(t *testing.T) {
+	srvTrs, cliTrs := udpPair(t, 1, 1)
+	nx := NewNexus()
+	nx.Register(1, Handler{Fn: func(ctx *ReqContext) {
+		out := ctx.AllocResponse(2)
+		copy(out, "ok")
+		ctx.EnqueueResponse()
+	}})
+	server := NewServer(nx, realConfigs(srvTrs), 1)
+	client := NewClient(nx, realConfigs(cliTrs))
+	sess, err := client.CreateSession(0, server.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.Start()
+	client.Start()
+
+	var wg sync.WaitGroup
+	var done atomic.Int32
+	finished := make(chan struct{})
+	r := client.Rpc(0)
+	// Many goroutines posting concurrently: the Post queue itself must
+	// be race-free, and every closure must run.
+	const posters = 8
+	for g := 0; g < posters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Post(func() {
+				req, resp := r.Alloc(4), r.Alloc(8)
+				r.EnqueueRequest(sess, 1, req, resp, func(err error) {
+					if err != nil {
+						t.Errorf("rpc: %v", err)
+					}
+					if done.Add(1) == posters {
+						close(finished)
+					}
+				})
+			})
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-finished:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("timed out: %d of %d done", done.Load(), posters)
+	}
+	client.Stop()
+	server.Stop()
+}

@@ -27,6 +27,14 @@ func (r *Rpc) srvSession(from transport.Addr, num uint16) *Session {
 
 // onReqPkt handles a request data packet at the server.
 func (r *Rpc) onReqPkt(h *wire.Header, from transport.Addr, payload []byte) {
+	if int64(h.MsgSize) > int64(r.cfg.MaxMsgSize) {
+		// A request claiming a size we never accept is malformed or
+		// hostile; drop it before it can size a buffer allocation.
+		// (Compare in int64: int(uint32) could go negative on 32-bit
+		// platforms if the decoder's 24-bit mask ever widens.)
+		r.Stats.StalePktsRx++
+		return
+	}
 	s := r.srvSession(from, h.DstSession)
 	idx := int(h.ReqNum % uint64(r.cfg.NumSlots))
 	ss := &s.srvSlots[idx]
@@ -167,6 +175,10 @@ func (r *Rpc) invokeHandler(s *Session, ss *srvSlot, idx int, lastPayload []byte
 		// The worker runs in parallel with the dispatch thread: model
 		// it as completing after its execution time.
 		r.sched.At(r.cursor+scaled(cost, r.scale), func() { h.Fn(ctx) })
+		return
+	}
+	if r.cfg.Pool != nil {
+		r.cfg.Pool.Submit(func() { h.Fn(ctx) })
 		return
 	}
 	go h.Fn(ctx)
@@ -355,6 +367,11 @@ func (c *ReqContext) EnqueueResponse() {
 		r.scheduleRun()
 		return
 	}
-	r.workerCh <- c
-	r.onTransportWake()
+	// Publish through the unbounded Post queue so a worker (or a
+	// handler running inline on a dispatch goroutine during pool
+	// shutdown) never blocks on a full channel — a blocked worker
+	// would stall the shared pool for every endpoint. Outstanding
+	// completions are bounded by the protocol anyway: at most one
+	// per server-side slot.
+	r.Post(func() { r.sendQueuedResponse(c) })
 }

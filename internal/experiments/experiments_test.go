@@ -12,7 +12,7 @@ func quick() Options { return Options{Scale: 0.15, Seed: 42} }
 func TestRegistryComplete(t *testing.T) {
 	// Every table and figure of the paper's evaluation must be
 	// registered (the DESIGN.md per-experiment index).
-	want := []string{"fig1", "fig4", "fig5", "fig6", "sec65", "sec72", "tab2", "tab3", "tab4", "tab5", "tab6"}
+	want := []string{"fig1", "fig4", "fig5", "fig6", "multicore", "sec65", "sec72", "tab2", "tab3", "tab4", "tab5", "tab6"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %v, want %v", got, want)
@@ -150,6 +150,42 @@ func TestSec72Shape(t *testing.T) {
 	}
 	if lowP50 < 1.5 || lowP50 > 5 {
 		t.Fatalf("low-load GET p50 = %v µs, want ≈2.7", lowP50)
+	}
+}
+
+func TestMulticoreScalesMonotonically(t *testing.T) {
+	// The multi-endpoint runtime's headline property: requests/sec
+	// strictly increases as server dispatch endpoints are added, with
+	// near-linear speedup through 4 endpoints (the 8-endpoint point
+	// may flatten against the 40 GbE NIC, but must not regress).
+	rep := Multicore(quick())
+	if len(rep.Rows) != len(MulticoreEndpoints) {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), len(MulticoreEndpoints))
+	}
+	rates := make([]float64, len(rep.Rows))
+	for i, row := range rep.Rows {
+		rates[i] = firstNum(t, row.Measured)
+	}
+	// Strict increase while CPU-bound (1 → 2 → 4); the NIC-limited
+	// 8-endpoint point may flatten but must not regress.
+	for i := 1; i < 3; i++ {
+		if rates[i] <= rates[i-1] {
+			t.Fatalf("rate did not increase from %d to %d endpoints: %v",
+				MulticoreEndpoints[i-1], MulticoreEndpoints[i], rates)
+		}
+	}
+	if rates[3] < 0.97*rates[2] {
+		t.Fatalf("rate regressed from 4 to 8 endpoints: %v", rates)
+	}
+	// 1 → 4 endpoints must be near-linear (≥ 3x).
+	if rates[2] < 3*rates[0] {
+		t.Fatalf("4-endpoint speedup %.2fx over 1 endpoint, want ≥ 3x (rates %v)",
+			rates[2]/rates[0], rates)
+	}
+	// Per-core rate must be in the paper's regime ("up to 10 million
+	// small RPCs per second on a single core").
+	if rates[0] < 5 || rates[0] > 20 {
+		t.Fatalf("single-endpoint rate = %v Mrps, want ≈10", rates[0])
 	}
 }
 

@@ -190,6 +190,9 @@ func (f *Fabric) send(src *Endpoint, dst transport.Addr, frame []byte) {
 	if len(frame) > prof.MTU {
 		return // oversize frames are dropped, like a real NIC
 	}
+	if int(dst.Node) >= len(f.nics) {
+		return // no such host: dropped, like a frame to an unknown MAC
+	}
 	buf := make([]byte, len(frame))
 	copy(buf, frame)
 	pkt := &simPkt{buf: buf, from: src.addr, to: dst, hash: transport.FlowHash(src.addr, dst)}

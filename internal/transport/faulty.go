@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Faulty wraps a Transport and injects send-side faults: drops,
+// duplicates, and reordering (a held-back packet overtaken by later
+// ones). Wrapping both ends of a connection subjects both directions
+// to faults. It exists for adversity testing of the RPC layer — eRPC
+// must deliver at-most-once semantics and eventual completion over an
+// arbitrarily lossy datagram substrate (paper §5.3, Table 4).
+//
+// All methods are safe for the single-dispatch-goroutine use the
+// Transport contract requires; the internal lock additionally makes
+// Send safe from concurrent goroutines, which the stress tests exploit.
+type Faulty struct {
+	t Transport
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	held []heldPkt
+
+	// Fault probabilities in [0, 1), applied independently per packet.
+	DropRate    float64
+	DupRate     float64
+	ReorderRate float64
+
+	// Counters of injected faults.
+	Drops    uint64
+	Dups     uint64
+	Reorders uint64
+}
+
+type heldPkt struct {
+	dst   Addr
+	frame []byte
+	after int // release once this many later sends have passed
+}
+
+// NewFaulty wraps t with the given fault rates and a deterministic
+// seed.
+func NewFaulty(t Transport, seed int64, drop, dup, reorder float64) *Faulty {
+	return &Faulty{t: t, rng: rand.New(rand.NewSource(seed)),
+		DropRate: drop, DupRate: dup, ReorderRate: reorder}
+}
+
+// MTU implements Transport.
+func (f *Faulty) MTU() int { return f.t.MTU() }
+
+// LocalAddr implements Transport.
+func (f *Faulty) LocalAddr() Addr { return f.t.LocalAddr() }
+
+// Send implements Transport, possibly dropping, duplicating, delaying
+// or reordering the frame.
+func (f *Faulty) Send(dst Addr, frame []byte) {
+	f.mu.Lock()
+	// Release held packets that have been overtaken by enough sends.
+	var release []heldPkt
+	kept := f.held[:0]
+	for _, h := range f.held {
+		h.after--
+		if h.after <= 0 {
+			release = append(release, h)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	f.held = kept
+
+	roll := f.rng.Float64()
+	var fate int // 0 = deliver, 1 = drop, 2 = dup, 3 = hold (reorder)
+	switch {
+	case roll < f.DropRate:
+		fate = 1
+		f.Drops++
+	case roll < f.DropRate+f.DupRate:
+		fate = 2
+		f.Dups++
+	case roll < f.DropRate+f.DupRate+f.ReorderRate:
+		fate = 3
+		f.Reorders++
+		// Copy: the caller reuses frame after Send returns.
+		cp := make([]byte, len(frame))
+		copy(cp, frame)
+		f.held = append(f.held, heldPkt{dst: dst, frame: cp, after: 1 + f.rng.Intn(3)})
+	}
+	f.mu.Unlock()
+
+	switch fate {
+	case 0:
+		f.t.Send(dst, frame)
+	case 2:
+		f.t.Send(dst, frame)
+		f.t.Send(dst, frame)
+	}
+	for _, h := range release {
+		f.t.Send(h.dst, h.frame)
+	}
+}
+
+// Recv implements Transport.
+func (f *Faulty) Recv() ([]byte, Addr, bool) { return f.t.Recv() }
+
+// SetWake implements Transport.
+func (f *Faulty) SetWake(fn func()) { f.t.SetWake(fn) }
+
+// Close implements Transport. Held packets are discarded — the network
+// lost them.
+func (f *Faulty) Close() error {
+	f.mu.Lock()
+	f.held = nil
+	f.mu.Unlock()
+	return f.t.Close()
+}
+
+var _ Transport = (*Faulty)(nil)

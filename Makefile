@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench fuzz ci
+.PHONY: build test race vet bench bench-quick fuzz fmt-check ci
 
 build:
 	$(GO) build ./...
@@ -14,14 +14,27 @@ race:
 vet:
 	$(GO) vet ./...
 
+# bench regenerates the recorded benchmark artifacts: BENCH_datapath.json
+# (the burst-datapath multicore sweep: simulated Mrps, wall seconds and
+# allocs/op per endpoint count; the pre-refactor baseline section is
+# preserved) and then runs the full reduced-scale benchmark suite once.
 bench:
+	$(GO) run ./cmd/erpc-bench -datapath BENCH_datapath.json -scale 0.25
 	$(GO) test -bench . -benchtime 1x -run XXX .
 
-# Short native-fuzzing session on the packet parsers; the seed corpora
-# also run as plain tests in `make test`.
+bench-quick:
+	$(GO) test -bench . -benchtime 1x -run XXX .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Short native-fuzzing session on the packet parsers and the burst RX
+# path; the seed corpora also run as plain tests in `make test`.
 fuzz:
 	$(GO) test -fuzz FuzzParseHeader -fuzztime 30s ./internal/wire/
 	$(GO) test -fuzz FuzzPktMath -fuzztime 15s ./internal/wire/
 	$(GO) test -fuzz FuzzProcessPkt -fuzztime 30s ./internal/core/
+	$(GO) test -fuzz FuzzRxBurst -fuzztime 30s ./internal/core/
 
-ci: build vet race
+ci: fmt-check build vet race

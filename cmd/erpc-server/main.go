@@ -36,6 +36,7 @@ func main() {
 		bind      = flag.String("bind", "127.0.0.1:31850", "UDP bind address of endpoint 0; endpoint i binds port+i")
 		endpoints = flag.Int("endpoints", 1, "dispatch endpoints (one UDP socket + goroutine each)")
 		workers   = flag.Int("workers", 0, "shared worker pool size for long-running handlers (0 = GOMAXPROCS)")
+		burst     = flag.Int("burst", 0, "RX/TX burst size per event-loop iteration (0 = default 16)")
 	)
 	flag.Parse()
 	if *endpoints <= 0 {
@@ -99,7 +100,7 @@ func main() {
 		fmt.Printf("peer node %d: %d endpoint(s) at %s\n", 100+i, n, addr)
 	}
 
-	server := erpc.NewServer(nx, erpc.UDPConfigs(trs), *workers)
+	server := erpc.NewServer(nx, erpc.BurstConfigs(erpc.UDPConfigs(trs), *burst), *workers)
 	server.Start()
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)

@@ -1,0 +1,96 @@
+package erpc_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/erpc"
+)
+
+// TestSmallRPCAllocFree is the allocation-regression guard for the
+// burst datapath: a small single-packet RPC over real UDP loopback
+// must run allocation-free in steady state (paper §4.2-4.3: pooled
+// msgbufs, recycled RX/TX frame buffers, preallocated responses). The
+// whole round trip is measured — client TX batch, UDP socket I/O on
+// both sides, server RX burst, handler dispatch, response path, client
+// completion — including the reader goroutines, since
+// testing.AllocsPerRun counts process-wide mallocs.
+func TestSmallRPCAllocFree(t *testing.T) {
+	nx := erpc.NewNexus()
+	nx.Register(1, erpc.Handler{Fn: func(ctx *erpc.ReqContext) {
+		out := ctx.AllocResponse(len(ctx.Req))
+		copy(out, ctx.Req)
+		ctx.EnqueueResponse()
+	}})
+
+	srvTr, err := erpc.NewUDPTransport(erpc.Addr{Node: 1, Port: 0}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvTr.Close()
+	cliTr, err := erpc.NewUDPTransport(erpc.Addr{Node: 2, Port: 0}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliTr.Close()
+	if err := srvTr.AddPeer(cliTr.LocalAddr(), cliTr.BoundAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cliTr.AddPeer(srvTr.LocalAddr(), srvTr.BoundAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both endpoints are driven manually from this goroutine, which is
+	// therefore the dispatch context of both.
+	srv := erpc.NewRpc(nx, erpc.Config{Transport: srvTr, Clock: erpc.NewWallClock()})
+	cli := erpc.NewRpc(nx, erpc.Config{Transport: cliTr, Clock: erpc.NewWallClock()})
+	sess, err := cli.CreateSession(srv.LocalAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req, resp := cli.Alloc(32), cli.Alloc(32)
+	for i := range req.Data() {
+		req.Data()[i] = byte(i)
+	}
+	var done bool
+	var rpcErr error
+	cont := func(err error) { done, rpcErr = true, err }
+
+	oneRPC := func() {
+		done = false
+		cli.EnqueueRequest(sess, 1, req, resp, cont)
+		for spins := 0; !done; spins++ {
+			prog := cli.RunEventLoopOnce()
+			prog = srv.RunEventLoopOnce() || prog
+			if spins > 1_000_000 {
+				t.Fatal("RPC did not complete")
+			}
+			if !prog {
+				// Park briefly so the runtime services the network
+				// poller (and the reader goroutines run) even on
+				// GOMAXPROCS=1; the reused timer keeps this alloc-free.
+				cli.WaitForWork(50 * time.Microsecond)
+			}
+		}
+		if rpcErr != nil {
+			t.Fatal(rpcErr)
+		}
+	}
+
+	// Warm up: prime the msgbuf pools, TX/RX frame pools, the lazy
+	// server-side session, the preallocated response buffer and any
+	// runtime-internal lazy state.
+	for i := 0; i < 200; i++ {
+		oneRPC()
+	}
+
+	avg := testing.AllocsPerRun(200, oneRPC)
+	t.Logf("allocs/op = %.3f", avg)
+	// Target ~0. The bound leaves headroom for rare runtime-internal
+	// allocations (netpoll, scheduler growth) without letting a real
+	// per-RPC allocation (≥ 1.0/op) slip through.
+	if avg >= 1.0 {
+		t.Fatalf("small-RPC hot path allocates %.3f times per op, want ~0", avg)
+	}
+}

@@ -81,6 +81,12 @@ type (
 	// Transport is unreliable datagram I/O, eRPC's only network
 	// requirement.
 	Transport = transport.Transport
+	// Frame is one packet of a TX/RX burst (see transport.Frame for
+	// the buffer-ownership rules of the burst datapath).
+	Frame = transport.Frame
+	// Pool recycles packet buffers for custom Transport
+	// implementations' burst datapaths.
+	Pool = transport.Pool
 	// Clock supplies timestamps (virtual or wall).
 	Clock = sim.Clock
 	// Time is a nanosecond timestamp/duration on the Clock.
@@ -103,6 +109,9 @@ const (
 	DefaultCredits  = core.DefaultCredits
 	DefaultNumSlots = core.DefaultNumSlots
 	DefaultRTO      = core.DefaultRTO
+	// DefaultBurstSize is the RX/TX burst: frames moved per event-loop
+	// iteration and per DMA-queue flush (Config.BurstSize overrides).
+	DefaultBurstSize = core.DefaultBurstSize
 )
 
 // NewNexus returns an empty handler registry.
@@ -123,6 +132,16 @@ func NewWallClock() Clock { return sim.NewWallClock() }
 // transport to map remote endpoint addresses to UDP addresses.
 func NewUDPTransport(addr Addr, bind string) (*transport.UDP, error) {
 	return transport.NewUDP(addr, bind)
+}
+
+// NewPool returns a recycling packet-buffer pool for a custom
+// Transport's burst datapath (see transport.NewPool).
+func NewPool(bufCap, limit int) *Pool { return transport.NewPool(bufCap, limit) }
+
+// PooledFrame binds an RX buffer to the pool it returns to on Release
+// (see transport.PooledFrame).
+func PooledFrame(data []byte, from Addr, p *Pool) Frame {
+	return transport.PooledFrame(data, from, p)
 }
 
 // NewServer builds a multi-endpoint server: one Rpc per Config (each
@@ -179,6 +198,18 @@ func UDPConfigs(trs []*transport.UDP) []Config {
 	cfgs := make([]Config, len(trs))
 	for i, tr := range trs {
 		cfgs[i] = Config{Transport: tr, Clock: NewWallClock()}
+	}
+	return cfgs
+}
+
+// BurstConfigs sets the RX/TX burst size on every Config (the knob the
+// erpc-server/-client/-bench commands expose as -burst). burst <= 0
+// leaves the default.
+func BurstConfigs(cfgs []Config, burst int) []Config {
+	if burst > 0 {
+		for i := range cfgs {
+			cfgs[i].BurstSize = burst
+		}
 	}
 	return cfgs
 }

@@ -12,21 +12,29 @@ import (
 
 // TestUDPAdversity runs the multi-endpoint runtime over real UDP with
 // fault injection on both sides of the wire: 5% drops, 5% duplicates,
-// 5% reordering, in each direction. It asserts the two properties the
-// paper's protocol guarantees over an arbitrarily bad datagram network
-// (§5.3): at-most-once handler execution (no request ever executes
-// twice, despite duplicates and retransmissions) and eventual
-// completion of every RPC.
+// 5% reordering, in each direction, with Faulty wrapping the burst
+// datapath (the core calls SendBurst/RecvBurst, so every RX/TX burst
+// passes through the fault lottery). A slice of the requests are
+// multi-packet, so whole data bursts — not just single frames — cross
+// the faulty wire. It asserts the two properties the paper's protocol
+// guarantees over an arbitrarily bad datagram network (§5.3):
+// at-most-once handler execution (no request ever executes twice,
+// despite duplicates and retransmissions) and eventual completion of
+// every RPC.
 func TestUDPAdversity(t *testing.T) {
 	const (
 		srvEps  = 2
 		nreqs   = 300
 		reqType = 1
+		bigSize = 4000 // multi-packet: 3 frames at the UDP MTU
 	)
+	bigReq := func(i int) bool { return i%8 == 7 }
 
 	// The handler records executions per request id; ids are unique,
 	// so any count above 1 is an at-most-once violation. The mutex
-	// makes the map safe across the server's dispatch goroutines.
+	// makes the map safe across the server's dispatch goroutines. The
+	// full request is echoed, so multi-packet requests produce
+	// multi-packet responses (exercising RFRs under faults).
 	var mu sync.Mutex
 	execs := map[uint32]int{}
 	nx := erpc.NewNexus()
@@ -35,8 +43,8 @@ func TestUDPAdversity(t *testing.T) {
 		mu.Lock()
 		execs[id]++
 		mu.Unlock()
-		out := ctx.AllocResponse(4)
-		copy(out, ctx.Req[:4])
+		out := ctx.AllocResponse(len(ctx.Req))
+		copy(out, ctx.Req)
 		ctx.EnqueueResponse()
 	}})
 
@@ -89,7 +97,11 @@ func TestUDPAdversity(t *testing.T) {
 	r := client.Rpc(0)
 	r.Post(func() {
 		for i := 0; i < nreqs; i++ {
-			req, resp := r.Alloc(4), r.Alloc(16)
+			size := 4
+			if bigReq(i) {
+				size = bigSize
+			}
+			req, resp := r.Alloc(size), r.Alloc(size)
 			binary.BigEndian.PutUint32(req.Data(), uint32(i))
 			r.EnqueueRequest(sessions[i%len(sessions)], reqType, req, resp, func(err error) {
 				if err != nil {
@@ -124,12 +136,22 @@ func TestUDPAdversity(t *testing.T) {
 		}
 	}
 
-	// The run must have actually exercised the fault paths.
+	// The run must have actually exercised the fault paths — and the
+	// burst datapath: the core's TX batches go through Faulty.SendBurst
+	// and must have carried multi-frame bursts (multi-packet requests
+	// send several data packets per event-loop iteration).
 	if cliFault.Drops == 0 || cliFault.Dups == 0 || cliFault.Reorders == 0 {
 		t.Fatalf("fault injector idle: drops=%d dups=%d reorders=%d",
 			cliFault.Drops, cliFault.Dups, cliFault.Reorders)
 	}
 	if client.Stats().Retransmits == 0 {
 		t.Fatal("expected go-back-N retransmissions under injected loss")
+	}
+	cs := client.Stats()
+	if cs.TxBursts == 0 || cliFault.Bursts == 0 {
+		t.Fatalf("burst path idle: client TxBursts=%d, faulty SendBursts=%d", cs.TxBursts, cliFault.Bursts)
+	}
+	if cs.PktsTx <= cs.TxBursts {
+		t.Fatalf("no multi-frame bursts: %d packets in %d bursts", cs.PktsTx, cs.TxBursts)
 	}
 }

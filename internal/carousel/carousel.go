@@ -26,6 +26,13 @@ type Wheel[T any] struct {
 	headTime sim.Time // start time of the head slot
 	size     int
 
+	// spare recycles the backing arrays of emptied slots, so the wheel
+	// allocates nothing in steady state. A processed slot's array must
+	// not be reinstalled while its items are still being delivered
+	// (fn may re-insert into the same slot), hence the free list
+	// instead of in-place truncation.
+	spare [][]item[T]
+
 	// Inserted and Polled count total wheel operations for the CPU
 	// cost model and tests.
 	Inserted uint64
@@ -83,12 +90,13 @@ func (w *Wheel[T]) PollUntil(now sim.Time, fn func(at sim.Time, v T)) int {
 	for w.headTime <= now {
 		slot := w.slots[w.headIdx]
 		if len(slot) > 0 {
-			w.slots[w.headIdx] = nil
+			w.slots[w.headIdx] = w.popSpare()
 			for _, it := range slot {
 				fn(it.at, it.v)
 			}
 			delivered += len(slot)
 			w.size -= len(slot)
+			w.pushSpare(slot)
 		}
 		// Stop advancing once the head slot covers 'now': future
 		// inserts for the current instant must still land here.
@@ -101,6 +109,27 @@ func (w *Wheel[T]) PollUntil(now sim.Time, fn func(at sim.Time, v T)) int {
 	return delivered
 }
 
+// popSpare takes a recycled slot backing (or nil, growing on demand).
+func (w *Wheel[T]) popSpare() []item[T] {
+	if n := len(w.spare); n > 0 {
+		s := w.spare[n-1]
+		w.spare[n-1] = nil
+		w.spare = w.spare[:n-1]
+		return s
+	}
+	return nil
+}
+
+// pushSpare recycles a processed slot's backing array, clearing the
+// items so the wheel holds no stale references.
+func (w *Wheel[T]) pushSpare(slot []item[T]) {
+	var zero item[T]
+	for i := range slot {
+		slot[i] = zero
+	}
+	w.spare = append(w.spare, slot[:0])
+}
+
 // Drain removes and returns every queued item regardless of time, in
 // slot order. eRPC uses this when destroying a session after a node
 // failure (Appendix B: wait for the rate limiter to empty).
@@ -108,11 +137,16 @@ func (w *Wheel[T]) Drain(fn func(at sim.Time, v T)) int {
 	n := 0
 	for i := 0; i < len(w.slots); i++ {
 		idx := (w.headIdx + i) % len(w.slots)
-		for _, it := range w.slots[idx] {
+		slot := w.slots[idx]
+		if len(slot) == 0 {
+			continue
+		}
+		w.slots[idx] = w.popSpare()
+		for _, it := range slot {
 			fn(it.at, it.v)
 			n++
 		}
-		w.slots[idx] = nil
+		w.pushSpare(slot)
 	}
 	w.size = 0
 	return n

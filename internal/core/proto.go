@@ -364,40 +364,61 @@ func (r *Rpc) sendCtrl(dst transport.Addr, h wire.Header) {
 	r.rawSend(dst, buf[:])
 }
 
-// rawSend hands a frame to the transport. In simulation mode the send
-// fires at the CPU cursor (the moment the doorbell rings after the
-// charged work), using a copy of the frame so later msgbuf reuse
-// cannot corrupt it.
+// rawSend appends a frame to the per-iteration TX batch (the paper's
+// TX DMA queue): a pooled copy, so the caller's buffer — which may be
+// a msgbuf the application regains ownership of before the flush, or
+// the shared scratch assembly buffer — can be reused immediately. The
+// batch is flushed with one SendBurst per event-loop iteration
+// (§4.2.2's single DMA-queue flush), or earlier if it fills.
 func (r *Rpc) rawSend(dst transport.Addr, frame []byte) {
 	r.Stats.PktsTx++
 	r.Stats.BytesTx += uint64(len(frame))
-	if r.sched == nil {
-		r.tr.Send(dst, frame)
+	buf := append(r.txPool.Get(), frame...)
+	r.txBatch = append(r.txBatch, transport.Frame{Data: buf, Addr: dst})
+	if r.sched != nil {
+		// The packet leaves when the CPU reaches this point in its
+		// work (cursor) plus the non-CPU send pipeline (doorbell, DMA
+		// fetch) — recorded now, applied at flush.
+		r.txDep = append(r.txDep, r.cursor+r.cfg.TxPipeline)
+	}
+	if len(r.txBatch) >= r.burst {
+		r.flushTX()
+	}
+}
+
+// flushTX transmits the accumulated TX batch: one SendBurst (one
+// doorbell) in real-transport mode; in simulation mode each frame is
+// scheduled to depart at its recorded per-packet time, preserving the
+// TxPipeline timing model.
+func (r *Rpc) flushTX() {
+	if len(r.txBatch) == 0 {
 		return
 	}
-	buf := r.getSendBuf(len(frame))
-	copy(buf, frame)
-	// The packet leaves when the CPU reaches this point in its work
-	// (cursor) plus the non-CPU send pipeline (doorbell, DMA fetch).
-	r.sched.At(r.cursor+r.cfg.TxPipeline, func() {
-		r.tr.Send(dst, buf)
-		r.putSendBuf(buf)
-	})
-}
-
-func (r *Rpc) getSendBuf(n int) []byte {
-	if len(r.sendPool) > 0 {
-		b := r.sendPool[len(r.sendPool)-1]
-		r.sendPool = r.sendPool[:len(r.sendPool)-1]
-		return b[:n]
+	r.Stats.TxBursts++
+	if r.sched == nil {
+		r.tr.SendBurst(r.txBatch)
+		for i := range r.txBatch {
+			r.txPool.Put(r.txBatch[i].Data)
+			r.txBatch[i] = transport.Frame{}
+		}
+		r.txBatch = r.txBatch[:0]
+		return
 	}
-	return make([]byte, n, r.tr.MTU())
-}
-
-func (r *Rpc) putSendBuf(b []byte) {
-	if len(r.sendPool) < 1024 {
-		r.sendPool = append(r.sendPool, b[:0])
+	for i := range r.txBatch {
+		var t *simTx
+		if n := len(r.simTxFree); n > 0 {
+			t = r.simTxFree[n-1]
+			r.simTxFree = r.simTxFree[:n-1]
+		} else {
+			t = &simTx{}
+		}
+		t.dst = r.txBatch[i].Addr
+		t.buf = r.txBatch[i].Data
+		r.sched.AtCall(r.txDep[i], r.simTxFn, t)
+		r.txBatch[i] = transport.Frame{}
 	}
+	r.txBatch = r.txBatch[:0]
+	r.txDep = r.txDep[:0]
 }
 
 // rtoScan checks outstanding requests for retransmission timeouts and

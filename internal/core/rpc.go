@@ -28,11 +28,12 @@ import (
 
 // Defaults mirroring the paper.
 const (
-	DefaultCredits  = 32                  // session credit limit C (§4.3.1; §6.4 uses 32)
-	DefaultNumSlots = 8                   // concurrent requests per session (§4.3)
-	DefaultRTO      = 5 * sim.Millisecond // retransmission timeout (§5.2.3)
-	DefaultRQSize   = 8192                // receive queue size |RQ| for the session budget
-	DefaultMaxMsg   = 8 << 20             // largest message size supported (§6.4)
+	DefaultCredits   = 32                  // session credit limit C (§4.3.1; §6.4 uses 32)
+	DefaultNumSlots  = 8                   // concurrent requests per session (§4.3)
+	DefaultRTO       = 5 * sim.Millisecond // retransmission timeout (§5.2.3)
+	DefaultRQSize    = 8192                // receive queue size |RQ| for the session budget
+	DefaultMaxMsg    = 8 << 20             // largest message size supported (§6.4)
+	DefaultBurstSize = 16                  // RX/TX burst size (§4.2.1: "RX and TX bursts of up to 16 packets")
 
 	rtoScanInterval = 100 * sim.Microsecond
 	wheelSlots      = 4096
@@ -68,6 +69,12 @@ type Config struct {
 	RQSize int
 	// MaxMsgSize bounds request and response sizes; 0 means 8 MB.
 	MaxMsgSize int
+	// BurstSize is the RX/TX burst: the number of frames moved per
+	// RecvBurst call and the TX-batch capacity flushed with one
+	// SendBurst per event-loop iteration (paper §4.2: RX/TX bursts of
+	// up to 16 packets, one DMA-queue flush per batch). 0 means
+	// DefaultBurstSize.
+	BurstSize int
 	// LinkRateGbps is the host link rate, used by Timely; 0 means 25.
 	LinkRateGbps float64
 	// TxPipeline is a per-packet send latency that does not occupy
@@ -121,6 +128,12 @@ func (c *Config) setDefaults() {
 	if c.MaxMsgSize == 0 {
 		c.MaxMsgSize = DefaultMaxMsg
 	}
+	if c.BurstSize == 0 {
+		c.BurstSize = DefaultBurstSize
+	}
+	if c.BurstSize < 1 {
+		panic("erpc: Config.BurstSize must be positive")
+	}
 	if c.LinkRateGbps == 0 {
 		c.LinkRateGbps = 25
 	}
@@ -143,6 +156,7 @@ type Stats struct {
 	BytesRx       uint64
 	Retransmits   uint64 // go-back-N rollbacks
 	DMAFlushes    uint64
+	TxBursts      uint64 // SendBurst flushes (one DMA doorbell each)
 	StalePktsRx   uint64 // dropped: stale/duplicate/out-of-order
 	RespDropWheel uint64 // responses dropped because a retransmitted
 	// request copy was still queued in the rate limiter (Appendix C)
@@ -184,6 +198,7 @@ type Rpc struct {
 
 	workerDone []*ReqContext // sim mode: completed worker handlers
 	wakeCh     chan struct{}
+	waitTimer  *time.Timer // reused by WaitForWork (alloc-free idle parks)
 
 	postedMu sync.Mutex
 	posted   []func() // closures injected via Post, drained by the loop
@@ -191,8 +206,21 @@ type Rpc struct {
 	lastHeard map[uint16]sim.Time // per-node liveness (Appendix B)
 	lastHB    sim.Time
 
-	scratch  []byte   // frame assembly buffer for non-first packets
-	sendPool [][]byte // recycled frame copies for simulated sends
+	scratch []byte // frame assembly buffer for non-first packets
+
+	// Burst datapath state (paper §4.2: RX/TX bursts of up to 16
+	// packets, one DMA-queue flush per batch).
+	burst    int               // configured burst size
+	rxFrames []transport.Frame // RecvBurst scratch, len == burst
+	rxFull   bool              // last RX burst was full: more may be queued
+	txBatch  []transport.Frame // per-iteration TX batch of pooled copies
+	txDep    []sim.Time        // sim mode: per-frame departure times
+	txPool   *transport.Pool   // recycled TX frame buffers
+
+	simTxFree []*simTx  // recycled simulated-send descriptors
+	simTxFn   func(any) // predeclared AtCall callback for simulated sends
+
+	ctxFree []*ReqContext // recycled server-side request contexts
 
 	decoded wire.Header // preallocated decode target (DecodingLayer idiom)
 
@@ -231,9 +259,31 @@ func NewRpc(nexus *Nexus, cfg Config) *Rpc {
 		wakeCh:      make(chan struct{}, 1),
 		lastHeard:   map[uint16]sim.Time{},
 		scratch:     make([]byte, cfg.Transport.MTU()),
+		burst:       cfg.BurstSize,
+		rxFrames:    make([]transport.Frame, cfg.BurstSize),
+		txBatch:     make([]transport.Frame, 0, cfg.BurstSize),
+		txPool:      transport.NewPool(cfg.Transport.MTU(), 0),
+	}
+	if r.sched != nil {
+		r.txDep = make([]sim.Time, 0, cfg.BurstSize)
+		r.simTxFn = func(a any) {
+			t := a.(*simTx)
+			r.tr.Send(t.dst, t.buf)
+			r.txPool.Put(t.buf)
+			t.buf = nil
+			r.simTxFree = append(r.simTxFree, t)
+		}
 	}
 	cfg.Transport.SetWake(r.onTransportWake)
 	return r
+}
+
+// simTx is a pooled descriptor for one simulated send: the frame
+// leaves at its recorded departure time (CPU cursor at TX plus the
+// non-CPU send pipeline) regardless of when the batch is flushed.
+type simTx struct {
+	dst transport.Addr
+	buf []byte
 }
 
 // Alloc returns a message buffer sized for size data bytes, drawn from
@@ -275,12 +325,15 @@ func (r *Rpc) apiEnter() {
 	}
 }
 
-// apiExit commits charged time after a public API call and arms the
-// timer wake-ups the call may need (rate limiter, RTO).
+// apiExit commits charged time after a public API call, flushes any
+// packets the call produced (an API call from outside the event loop
+// is its own TX batch) and arms the timer wake-ups the call may need
+// (rate limiter, RTO).
 func (r *Rpc) apiExit() {
 	if r.sched == nil {
 		return
 	}
+	r.flushTX()
 	if r.cursor > r.busyUntil {
 		r.busyUntil = r.cursor
 	}
@@ -457,6 +510,12 @@ func (r *Rpc) runSim() {
 	r.cursor = now
 	r.runOnce()
 	r.busyUntil = r.cursor
+	if r.rxFull {
+		// The RX burst filled: more packets may be queued beyond this
+		// iteration's budget of BurstSize. Run again once the CPU is
+		// free (packet arrivals only wake an *empty* queue).
+		r.scheduleRun()
+	}
 	r.armWake()
 }
 
@@ -531,11 +590,17 @@ func (r *Rpc) WaitForWork(d time.Duration) {
 	if r.sched != nil {
 		panic("erpc: WaitForWork is for real-transport mode")
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
+	if r.waitTimer == nil {
+		r.waitTimer = time.NewTimer(d)
+	} else {
+		// Reusing one timer keeps idle parking allocation-free (safe
+		// without draining since Go 1.23's timer semantics).
+		r.waitTimer.Reset(d)
+	}
 	select {
 	case <-r.wakeCh:
-	case <-t.C:
+		r.waitTimer.Stop()
+	case <-r.waitTimer.C:
 	}
 }
 
@@ -602,9 +667,10 @@ func (r *Rpc) drainPosted() {
 }
 
 // runOnce is one event-loop iteration: drain injected closures, the
-// rate limiter, the RX queue and worker completions, then run the RTO
-// scan and management timers (paper §3.1: "the event loop performs the
-// bulk of eRPC's work").
+// rate limiter, one RX burst and worker completions, then run the RTO
+// scan and management timers, and finally flush the accumulated TX
+// batch with one SendBurst (paper §3.1: "the event loop performs the
+// bulk of eRPC's work"; §4.2.2: one DMA-queue flush per batch).
 func (r *Rpc) runOnce() {
 	r.batchTS = r.now()
 	r.drainPosted()
@@ -617,16 +683,21 @@ func (r *Rpc) runOnce() {
 		r.rtoScan()
 	}
 	r.heartbeat()
+	r.flushTX()
 }
 
-// pollRX drains the transport receive queue, processing each packet.
+// pollRX pulls one burst of up to BurstSize frames from the transport
+// and processes each packet, re-posting its buffer to the transport's
+// pool afterwards (the paper's RX descriptor re-post). A full burst
+// sets rxFull so the loop runs again immediately: packet arrivals only
+// wake an empty queue.
 func (r *Rpc) pollRX() {
-	for {
-		frame, from, ok := r.tr.Recv()
-		if !ok {
-			return
-		}
-		r.processPkt(frame, from)
+	n := r.tr.RecvBurst(r.rxFrames)
+	r.rxFull = n == len(r.rxFrames)
+	for i := 0; i < n; i++ {
+		f := &r.rxFrames[i]
+		r.processPkt(f.Data, f.Addr)
+		f.Release()
 	}
 }
 

@@ -194,6 +194,7 @@ func (a *Stats) add(b *Stats) {
 	a.BytesRx += b.BytesRx
 	a.Retransmits += b.Retransmits
 	a.DMAFlushes += b.DMAFlushes
+	a.TxBursts += b.TxBursts
 	a.StalePktsRx += b.StalePktsRx
 	a.RespDropWheel += b.RespDropWheel
 	a.HandlersRun += b.HandlersRun

@@ -124,13 +124,12 @@ func (r *Rpc) invokeHandler(s *Session, ss *srvSlot, idx int, lastPayload []byte
 		ss.state = srvIdle
 		return
 	}
-	ctx := &ReqContext{
-		rpc:     r,
-		sess:    s,
-		slotIdx: idx,
-		reqNum:  ss.curReqNum,
-		ReqType: ss.reqType,
-	}
+	ctx := r.getReqCtx()
+	ctx.rpc = r
+	ctx.sess = s
+	ctx.slotIdx = idx
+	ctx.reqNum = ss.curReqNum
+	ctx.ReqType = ss.reqType
 	switch {
 	case ss.numReqPkts > 1:
 		ctx.Req = ss.reqBuf.Data()
@@ -187,15 +186,38 @@ func (r *Rpc) invokeHandler(s *Session, ss *srvSlot, idx int, lastPayload []byte
 // scaled applies the cluster CPU-speed factor to a duration.
 func scaled(d sim.Time, s float64) sim.Time { return sim.Time(float64(d) * s) }
 
+// getReqCtx takes a recycled request context (EnqueueResponse is its
+// end of life; see putReqCtx).
+func (r *Rpc) getReqCtx() *ReqContext {
+	if n := len(r.ctxFree); n > 0 {
+		c := r.ctxFree[n-1]
+		r.ctxFree[n-1] = nil
+		r.ctxFree = r.ctxFree[:n-1]
+		return c
+	}
+	return &ReqContext{}
+}
+
+// putReqCtx recycles a finished request context. Dispatch context
+// only.
+func (r *Rpc) putReqCtx(c *ReqContext) {
+	*c = ReqContext{}
+	r.ctxFree = append(r.ctxFree, c)
+}
+
 // sendQueuedResponse finalizes a handler's response on the dispatch
-// thread and transmits its first packet.
+// thread and transmits its first packet. It is the end of the
+// ReqContext's life: the context is recycled, so handlers must not
+// touch it (or ctx.Req) after EnqueueResponse.
 func (r *Rpc) sendQueuedResponse(ctx *ReqContext) {
 	s := ctx.sess
 	if s.failed {
+		r.putReqCtx(ctx)
 		return
 	}
 	ss := &s.srvSlots[ctx.slotIdx]
 	if ss.curReqNum != ctx.reqNum || ss.state != srvProcessing {
+		r.putReqCtx(ctx)
 		return // slot was reset (e.g. peer failure) while the worker ran
 	}
 	if ctx.respBuf == nil {
@@ -205,11 +227,11 @@ func (r *Rpc) sendQueuedResponse(ctx *ReqContext) {
 		r.alloc.Free(ss.reqBuf)
 		ss.reqBuf = nil
 	}
-	ctx.reqCopy = nil
 	ss.respBuf = ctx.respBuf
 	ss.respIsPrealloc = ctx.respIsPrealloc
 	ss.respPooled = ctx.respPooled
 	ss.state = srvResponded
+	r.putReqCtx(ctx)
 	r.sendRespPkt(s, ss, 0)
 }
 
@@ -282,7 +304,9 @@ func (r *Rpc) resetSrvSlot(ss *srvSlot) {
 // ReqContext is the server-side context passed to request handlers
 // (the paper's req_handle). Handlers fill a response via AllocResponse
 // and submit it with EnqueueResponse — immediately, or later for
-// nested RPCs (§3.1).
+// nested RPCs (§3.1). EnqueueResponse ends the context's life: the
+// struct is recycled into the endpoint's pool, so neither the context
+// nor ctx.Req may be used afterwards.
 type ReqContext struct {
 	rpc     *Rpc
 	sess    *Session

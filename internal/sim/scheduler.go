@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -45,23 +44,38 @@ func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
 // Now implements Clock.
 func (w *WallClock) Now() Time { return Time(time.Since(w.start)) }
 
-// Event is a scheduled callback.
+// Event is a scheduled callback. Events are pooled: the scheduler
+// recycles them after they fire or are cancelled, so the simulation's
+// hot path (one or more events per simulated packet per hop) performs
+// no allocation in steady state. A generation counter guards recycled
+// events against stale EventIDs.
 type event struct {
 	at  Time
 	seq uint64 // tie-break for determinism: FIFO among same-time events
 	fn  func()
-	idx int // heap index; -1 once popped or cancelled
+	// call/arg is the closure-free event form (AtCall): invoking a
+	// predeclared func(any) with a pooled argument schedules work
+	// without allocating a closure per event.
+	call func(any)
+	arg  any
+	idx  int    // heap index; -1 once popped or cancelled
+	gen  uint64 // bumped on recycle; EventIDs from prior lives go stale
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// value is valid and never matches a live event.
+type EventID struct {
+	ev  *event
+	gen uint64
+}
 
 // Scheduler is a discrete-event executor with a virtual clock.
 // The zero value is not usable; call NewScheduler.
 type Scheduler struct {
 	now     Time
 	seq     uint64
-	pq      eventHeap
+	pq      []*event // 4-ary min-heap ordered by (at, seq)
+	free    []*event // recycled events
 	rng     *rand.Rand
 	stopped bool
 	// Processed counts executed events (for diagnostics and tests).
@@ -88,13 +102,69 @@ func (s *Scheduler) At(t Time, fn func()) EventID {
 	if fn == nil {
 		panic("sim: At called with nil fn")
 	}
+	ev := s.newEvent(t)
+	ev.fn = fn
+	s.push(ev)
+	return EventID{ev: ev, gen: ev.gen}
+}
+
+// AtCall schedules call(arg) at absolute virtual time t. It is the
+// allocation-free counterpart of At for hot paths: with a predeclared
+// call function and a pooled arg, scheduling a packet hop costs no
+// heap allocation (the closure that At would need is replaced by the
+// (call, arg) pair stored in the pooled event).
+func (s *Scheduler) AtCall(t Time, call func(any), arg any) EventID {
+	if call == nil {
+		panic("sim: AtCall called with nil call")
+	}
+	ev := s.newEvent(t)
+	ev.call = call
+	ev.arg = arg
+	s.push(ev)
+	return EventID{ev: ev, gen: ev.gen}
+}
+
+func (s *Scheduler) newEvent(t Time) *event {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = t
+	ev.seq = s.seq
 	s.seq++
-	heap.Push(&s.pq, ev)
-	return EventID{ev: ev}
+	return ev
+}
+
+// release recycles a fired or cancelled event. Bumping gen makes every
+// outstanding EventID for this event stale before the pool can hand it
+// out again.
+func (s *Scheduler) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.call = nil
+	ev.arg = nil
+	ev.idx = -1
+	s.free = append(s.free, ev)
+}
+
+// run fires a popped event.
+func (s *Scheduler) run(ev *event) {
+	s.now = ev.at
+	fn, call, arg := ev.fn, ev.call, ev.arg
+	s.release(ev)
+	if fn != nil {
+		fn()
+	} else {
+		call(arg)
+	}
+	s.Processed++
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -106,12 +176,11 @@ func (s *Scheduler) After(d Time, fn func()) EventID {
 // already-cancelled event is a no-op and returns false.
 func (s *Scheduler) Cancel(id EventID) bool {
 	ev := id.ev
-	if ev == nil || ev.idx < 0 {
+	if ev == nil || ev.gen != id.gen || ev.idx < 0 {
 		return false
 	}
-	heap.Remove(&s.pq, ev.idx)
-	ev.idx = -1
-	ev.fn = nil
+	s.remove(ev.idx)
+	s.release(ev)
 	return true
 }
 
@@ -129,17 +198,10 @@ func (s *Scheduler) Stop() { s.stopped = true }
 func (s *Scheduler) RunUntil(deadline Time) {
 	s.stopped = false
 	for len(s.pq) > 0 && !s.stopped {
-		ev := s.pq[0]
-		if ev.at > deadline {
+		if s.pq[0].at > deadline {
 			break
 		}
-		heap.Pop(&s.pq)
-		ev.idx = -1
-		s.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		fn()
-		s.Processed++
+		s.run(s.popMin())
 	}
 	if s.now < deadline && !s.stopped {
 		s.now = deadline
@@ -150,14 +212,7 @@ func (s *Scheduler) RunUntil(deadline Time) {
 func (s *Scheduler) Run() {
 	s.stopped = false
 	for len(s.pq) > 0 && !s.stopped {
-		ev := s.pq[0]
-		heap.Pop(&s.pq)
-		ev.idx = -1
-		s.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		fn()
-		s.Processed++
+		s.run(s.popMin())
 	}
 }
 
@@ -167,13 +222,7 @@ func (s *Scheduler) Step() bool {
 	if len(s.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&s.pq).(*event)
-	ev.idx = -1
-	s.now = ev.at
-	fn := ev.fn
-	ev.fn = nil
-	fn()
-	s.Processed++
+	s.run(s.popMin())
 	return true
 }
 
@@ -181,31 +230,96 @@ func (s *Scheduler) String() string {
 	return fmt.Sprintf("sim.Scheduler{now=%v pending=%d processed=%d}", s.now, len(s.pq), s.Processed)
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
+// The event queue is a hand-rolled 4-ary min-heap ordered by (at, seq).
+// Compared to container/heap it halves the tree depth, avoids the
+// interface boxing on every push/pop, and keeps the heap index on each
+// event so Cancel can remove from the middle; the heap is the hottest
+// host-side structure in a simulation (every packet hop is an event).
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+
+func (s *Scheduler) push(ev *event) {
+	ev.idx = len(s.pq)
+	s.pq = append(s.pq, ev)
+	s.siftUp(ev.idx)
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (s *Scheduler) popMin() *event {
+	ev := s.pq[0]
+	n := len(s.pq) - 1
+	last := s.pq[n]
+	s.pq[n] = nil
+	s.pq = s.pq[:n]
+	if n > 0 {
+		s.pq[0] = last
+		last.idx = 0
+		s.siftDown(0)
+	}
+	ev.idx = -1
 	return ev
+}
+
+// remove deletes the event at heap index i (Cancel's path).
+func (s *Scheduler) remove(i int) {
+	n := len(s.pq) - 1
+	last := s.pq[n]
+	s.pq[n] = nil
+	s.pq = s.pq[:n]
+	if i == n {
+		return
+	}
+	s.pq[i] = last
+	last.idx = i
+	s.siftDown(i)
+	s.siftUp(i)
+}
+
+func (s *Scheduler) siftUp(i int) {
+	ev := s.pq[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := s.pq[parent]
+		if !less(ev, p) {
+			break
+		}
+		s.pq[i] = p
+		p.idx = i
+		i = parent
+	}
+	s.pq[i] = ev
+	ev.idx = i
+}
+
+func (s *Scheduler) siftDown(i int) {
+	ev := s.pq[i]
+	n := len(s.pq)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if less(s.pq[c], s.pq[min]) {
+				min = c
+			}
+		}
+		if !less(s.pq[min], ev) {
+			break
+		}
+		s.pq[i] = s.pq[min]
+		s.pq[i].idx = i
+		i = min
+	}
+	s.pq[i] = ev
+	ev.idx = i
 }

@@ -9,6 +9,13 @@
 // endpoint, so the eRPC core runs unmodified on it. Everything
 // executes on one sim.Scheduler goroutine; runs are deterministic for
 // a given seed.
+//
+// The datapath is burst-based and allocation-free in steady state:
+// packet payloads live in a recycling transport.Pool (released back by
+// the consumer via Frame.Release, like re-posting an RX descriptor),
+// packet descriptors (simPkt) recycle through a free list, and every
+// hop is scheduled with sim.Scheduler.AtCall — a predeclared callback
+// plus the pooled descriptor — instead of a per-hop closure.
 package simnet
 
 import (
@@ -80,6 +87,18 @@ type Fabric struct {
 	tors  []*swtch
 	spine []*swtch
 	nics  []*nic
+
+	pool    *transport.Pool // payload buffers, recycled via Frame.Release
+	pktFree []*simPkt       // descriptor free list
+
+	// Predeclared AtCall callbacks: one bound method value each,
+	// created once at New, so scheduling a hop allocates nothing.
+	atToRFn    func(any)
+	atSpineFn  func(any)
+	atDstNICFn func(any)
+	deliverFn  func(any)
+	releaseFn  func(any)
+
 	Stats Stats
 }
 
@@ -94,7 +113,13 @@ func New(sched *sim.Scheduler, cfg Config) (*Fabric, error) {
 	if cfg.RQCap == 0 {
 		cfg.RQCap = DefaultRQCap
 	}
-	f := &Fabric{sched: sched, cfg: cfg}
+	f := &Fabric{sched: sched, cfg: cfg,
+		pool: transport.NewPool(cfg.Profile.MTU, 0)}
+	f.atToRFn = func(a any) { f.atToR(a.(*simPkt)) }
+	f.atSpineFn = func(a any) { f.atSpine(a.(*simPkt)) }
+	f.atDstNICFn = func(a any) { f.atDstNIC(a.(*simPkt)) }
+	f.deliverFn = func(a any) { f.deliver(a.(*simPkt)) }
+	f.releaseFn = func(a any) { releaseBuf(a.(*simPkt)) }
 	for i := 0; i < cfg.Topology.NumToRs; i++ {
 		// ToR ports: one downlink per node + one uplink per spine.
 		f.tors = append(f.tors, newSwitch(cfg.Topology.NodesPerToR+cfg.Topology.NumSpines, cfg.Profile))
@@ -177,11 +202,57 @@ func (f *Fabric) wireBytes(frameLen int) int {
 	return frameLen + f.cfg.Profile.WireOverhead
 }
 
+// simPkt is a pooled packet descriptor. While a packet is in flight it
+// carries the hop state its pending events need: hop is the ToR/spine
+// index the next arrival callback runs at, and relSw/relPort/relWB
+// describe the egress-buffer occupancy to release when the packet
+// finishes leaving its current switch port. A packet has at most one
+// pending release at a time: the release (at link departure) always
+// fires before the next hop's arrival (departure + propagation delay,
+// with FIFO ordering on ties), which is what installs the next one.
 type simPkt struct {
 	buf  []byte
 	from transport.Addr
 	to   transport.Addr
 	hash uint32
+
+	hop     int // next ToR or spine index
+	relSw   *swtch
+	relPort int
+	relWB   int
+}
+
+func (f *Fabric) getPkt() *simPkt {
+	if n := len(f.pktFree); n > 0 {
+		pkt := f.pktFree[n-1]
+		f.pktFree[n-1] = nil
+		f.pktFree = f.pktFree[:n-1]
+		return pkt
+	}
+	return &simPkt{}
+}
+
+// freePkt recycles a descriptor whose payload buffer has already been
+// handed off or returned to the pool.
+func (f *Fabric) freePkt(pkt *simPkt) {
+	pkt.buf = nil
+	pkt.relSw = nil
+	f.pktFree = append(f.pktFree, pkt)
+}
+
+// dropPkt recycles a descriptor and its payload (a packet lost in the
+// fabric).
+func (f *Fabric) dropPkt(pkt *simPkt) {
+	f.pool.Put(pkt.buf)
+	f.freePkt(pkt)
+}
+
+// releaseBuf is the AtCall callback that releases a packet's switch
+// egress-buffer occupancy once it has finished leaving the port.
+func releaseBuf(pkt *simPkt) {
+	pkt.relSw.used -= pkt.relWB
+	pkt.relSw.ports[pkt.relPort].queued -= pkt.relWB
+	pkt.relSw = nil
 }
 
 // send launches a frame into the fabric from src.
@@ -193,9 +264,11 @@ func (f *Fabric) send(src *Endpoint, dst transport.Addr, frame []byte) {
 	if int(dst.Node) >= len(f.nics) {
 		return // no such host: dropped, like a frame to an unknown MAC
 	}
-	buf := make([]byte, len(frame))
-	copy(buf, frame)
-	pkt := &simPkt{buf: buf, from: src.addr, to: dst, hash: transport.FlowHash(src.addr, dst)}
+	pkt := f.getPkt()
+	pkt.buf = append(f.pool.Get(), frame...)
+	pkt.from = src.addr
+	pkt.to = dst
+	pkt.hash = transport.FlowHash(src.addr, dst)
 
 	n := f.nics[src.addr.Node]
 	now := f.sched.Now()
@@ -210,48 +283,44 @@ func (f *Fabric) send(src *Endpoint, dst transport.Addr, frame []byte) {
 
 	if int(dst.Node) == int(src.addr.Node) {
 		// Loopback through the NIC without touching the fabric.
-		f.sched.At(dep+prof.NICRxDelay, func() { f.deliver(pkt) })
+		f.sched.AtCall(dep+prof.NICRxDelay, f.deliverFn, pkt)
 		return
 	}
-	srcToR := int(src.addr.Node) / f.cfg.Topology.NodesPerToR
-	f.sched.At(arrive, func() { f.atToR(srcToR, pkt) })
+	pkt.hop = int(src.addr.Node) / f.cfg.Topology.NodesPerToR
+	f.sched.AtCall(arrive, f.atToRFn, pkt)
 }
 
-// atToR handles a packet arriving at a ToR switch (from a host or from
-// a spine).
-func (f *Fabric) atToR(torIdx int, pkt *simPkt) {
+// atToR handles a packet arriving at the ToR switch pkt.hop (from a
+// host or from a spine).
+func (f *Fabric) atToR(pkt *simPkt) {
 	topo := f.cfg.Topology
+	torIdx := pkt.hop
 	dstToR := int(pkt.to.Node) / topo.NodesPerToR
 	if dstToR == torIdx {
 		// Egress on the downlink to the destination node.
 		local := int(pkt.to.Node) % topo.NodesPerToR
-		f.switchForward(f.tors[torIdx], local, f.cfg.Profile.LinkGbps, pkt, func() {
-			f.atDstNIC(pkt)
-		})
+		f.switchForward(f.tors[torIdx], local, f.cfg.Profile.LinkGbps, pkt, f.atDstNICFn, 0)
 		return
 	}
 	// Egress on an ECMP-selected uplink to a spine.
 	spineIdx := int(pkt.hash) % topo.NumSpines
 	uplinkPort := topo.NodesPerToR + spineIdx
-	f.switchForward(f.tors[torIdx], uplinkPort, f.cfg.Profile.UplinkGbps, pkt, func() {
-		f.atSpine(spineIdx, pkt)
-	})
+	f.switchForward(f.tors[torIdx], uplinkPort, f.cfg.Profile.UplinkGbps, pkt, f.atSpineFn, spineIdx)
 }
 
-// atSpine handles a packet arriving at a spine switch.
-func (f *Fabric) atSpine(spineIdx int, pkt *simPkt) {
+// atSpine handles a packet arriving at the spine switch pkt.hop.
+func (f *Fabric) atSpine(pkt *simPkt) {
 	dstToR := int(pkt.to.Node) / f.cfg.Topology.NodesPerToR
-	f.switchForward(f.spine[spineIdx], dstToR, f.cfg.Profile.UplinkGbps, pkt, func() {
-		f.atToR(dstToR, pkt)
-	})
+	f.switchForward(f.spine[pkt.hop], dstToR, f.cfg.Profile.UplinkGbps, pkt, f.atToRFn, dstToR)
 }
 
 // switchForward enqueues pkt on the given egress port and schedules
-// its arrival at the next hop via then().
-func (f *Fabric) switchForward(s *swtch, portIdx int, gbps float64, pkt *simPkt, then func()) {
+// its arrival at the next hop (the next callback, running at nextHop).
+func (f *Fabric) switchForward(s *swtch, portIdx int, gbps float64, pkt *simPkt, next func(any), nextHop int) {
 	wb := f.wireBytes(len(pkt.buf))
 	if !s.admit(portIdx, wb) {
 		f.Stats.DroppedBuffer++
+		f.dropPkt(pkt)
 		return
 	}
 	prof := f.cfg.Profile
@@ -268,11 +337,10 @@ func (f *Fabric) switchForward(s *swtch, portIdx int, gbps float64, pkt *simPkt,
 	// Buffer occupancy is released when the packet finishes leaving
 	// the egress port; the packet reaches the next hop one propagation
 	// delay later.
-	f.sched.At(dep, func() {
-		s.used -= wb
-		p.queued -= wb
-	})
-	f.sched.At(dep+prof.PropDelay, then)
+	pkt.relSw, pkt.relPort, pkt.relWB = s, portIdx, wb
+	f.sched.AtCall(dep, f.releaseFn, pkt)
+	pkt.hop = nextHop
+	f.sched.AtCall(dep+prof.PropDelay, next, pkt)
 }
 
 // atDstNIC applies loss/reorder injection and delivers to the endpoint.
@@ -280,6 +348,7 @@ func (f *Fabric) atDstNIC(pkt *simPkt) {
 	rng := f.sched.Rand()
 	if f.cfg.LossRate > 0 && rng.Float64() < f.cfg.LossRate {
 		f.Stats.DroppedLoss++
+		f.dropPkt(pkt)
 		return
 	}
 	at := f.sched.Now() + f.cfg.Profile.NICRxDelay
@@ -304,34 +373,37 @@ func (f *Fabric) atDstNIC(pkt *simPkt) {
 		f.Stats.Reordered++
 		at += sim.Time(rng.Int63n(int64(20 * sim.Microsecond)))
 	}
-	f.sched.At(at, func() { f.deliver(pkt) })
+	f.sched.AtCall(at, f.deliverFn, pkt)
 }
 
+// deliver appends the packet to the destination endpoint's receive
+// queue. The payload buffer's ownership moves to the queue (and then
+// to the consumer, who re-posts it with Frame.Release); the descriptor
+// is recycled immediately.
 func (f *Fabric) deliver(pkt *simPkt) {
 	n := f.nics[pkt.to.Node]
 	if int(pkt.to.Port) >= len(n.endpoints) {
-		return // no such endpoint: silently dropped
+		f.dropPkt(pkt) // no such endpoint: silently dropped
+		return
 	}
 	ep := n.endpoints[pkt.to.Port]
 	if ep.closed {
+		f.dropPkt(pkt)
 		return
 	}
 	if len(ep.rq) >= f.cfg.RQCap {
 		f.Stats.DroppedRQ++
+		f.dropPkt(pkt)
 		return
 	}
 	f.Stats.Delivered++
 	f.Stats.BytesDelivered += uint64(len(pkt.buf))
 	wasEmpty := len(ep.rq) == 0
-	ep.rq = append(ep.rq, rxPkt{buf: pkt.buf, from: pkt.from})
+	ep.rq = append(ep.rq, transport.PooledFrame(pkt.buf, pkt.from, f.pool))
+	f.freePkt(pkt)
 	if wasEmpty && ep.wake != nil {
 		ep.wake()
 	}
-}
-
-type rxPkt struct {
-	buf  []byte
-	from transport.Addr
 }
 
 // Endpoint is one attachment point on the fabric; it implements
@@ -339,7 +411,7 @@ type rxPkt struct {
 type Endpoint struct {
 	fab         *Fabric
 	addr        transport.Addr
-	rq          []rxPkt
+	rq          []transport.Frame
 	rqHead      int
 	wake        func()
 	closed      bool
@@ -362,7 +434,39 @@ func (e *Endpoint) Send(dst transport.Addr, frame []byte) {
 	e.fab.send(e, dst, frame)
 }
 
-// Recv implements transport.Transport.
+// SendBurst implements transport.Transport. The NIC egress link
+// (nic.txFree) serializes the burst's departure times back to back —
+// the simulated analogue of a DMA queue accepting a batch with one
+// doorbell.
+func (e *Endpoint) SendBurst(frames []transport.Frame) {
+	if e.closed {
+		return
+	}
+	for i := range frames {
+		e.fab.send(e, frames[i].Addr, frames[i].Data)
+	}
+}
+
+// RecvBurst implements transport.Transport: the whole batch queued at
+// virtual "now" is handed over in one call (batch delivery per wake).
+func (e *Endpoint) RecvBurst(frames []transport.Frame) int {
+	n := 0
+	for n < len(frames) && e.rqHead < len(e.rq) {
+		frames[n] = e.rq[e.rqHead]
+		e.rq[e.rqHead] = transport.Frame{}
+		e.rqHead++
+		n++
+	}
+	if e.rqHead == len(e.rq) && len(e.rq) > 0 {
+		e.rq = e.rq[:0]
+		e.rqHead = 0
+	}
+	return n
+}
+
+// Recv implements transport.Transport. The returned buffer is not
+// recycled (it stays valid until the GC collects it); hot paths use
+// RecvBurst + Release.
 func (e *Endpoint) Recv() ([]byte, transport.Addr, bool) {
 	if e.rqHead >= len(e.rq) {
 		if len(e.rq) > 0 {
@@ -372,13 +476,13 @@ func (e *Endpoint) Recv() ([]byte, transport.Addr, bool) {
 		return nil, transport.Addr{}, false
 	}
 	p := e.rq[e.rqHead]
-	e.rq[e.rqHead] = rxPkt{}
+	e.rq[e.rqHead] = transport.Frame{}
 	e.rqHead++
 	if e.rqHead == len(e.rq) {
 		e.rq = e.rq[:0]
 		e.rqHead = 0
 	}
-	return p.buf, p.from, true
+	return p.Data, p.Addr, true
 }
 
 // Pending reports queued RX packets.
@@ -387,9 +491,13 @@ func (e *Endpoint) Pending() int { return len(e.rq) - e.rqHead }
 // SetWake implements transport.Transport.
 func (e *Endpoint) SetWake(fn func()) { e.wake = fn }
 
-// Close implements transport.Transport.
+// Close implements transport.Transport. Queued packets are re-posted
+// to the fabric's buffer pool.
 func (e *Endpoint) Close() error {
 	e.closed = true
+	for i := e.rqHead; i < len(e.rq); i++ {
+		e.rq[i].Release()
+	}
 	e.rq = nil
 	e.rqHead = 0
 	return nil

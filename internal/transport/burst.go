@@ -1,0 +1,117 @@
+package transport
+
+import "sync"
+
+// This file defines the burst datapath: the Frame unit moved by
+// SendBurst/RecvBurst and the recycling buffer Pool that backs RX
+// frames. The design mirrors the paper's NIC datapath (§4.2-4.3): RX
+// and TX move bursts of up to 16 packets per event-loop iteration, RX
+// buffers come from a fixed pool and are re-posted (Released) after
+// processing, and a TX burst rings the doorbell once.
+
+// DefaultBurst is the burst size used by callers that do not configure
+// one (paper §4.2.1: "RX and TX bursts of up to 16 packets").
+const DefaultBurst = 16
+
+// Frame is one packet of a burst: a payload plus the peer address
+// (destination on TX, source on RX).
+//
+// Ownership rules:
+//
+//   - TX (SendBurst): frames are owned by the caller. The transport
+//     must finish with Data before SendBurst returns (send or copy);
+//     the caller may reuse the bytes immediately afterwards.
+//   - RX (RecvBurst): frames are owned by the receiver until it calls
+//     Release, which re-posts the backing buffer to the transport's
+//     pool — the software analogue of re-posting a NIC RX descriptor.
+//     Data must not be referenced after Release. Dropping a frame
+//     without Release is safe but leaks the buffer to the garbage
+//     collector instead of recycling it.
+type Frame struct {
+	// Data is the frame payload.
+	Data []byte
+	// Addr is the peer endpoint: destination on TX, source on RX.
+	Addr Addr
+	// pool receives Data back on Release; nil for unpooled frames.
+	pool *Pool
+}
+
+// PooledFrame binds a buffer to the pool it returns to on Release.
+// Transports use it when filling RX frames.
+func PooledFrame(data []byte, from Addr, p *Pool) Frame {
+	return Frame{Data: data, Addr: from, pool: p}
+}
+
+// Release returns the frame's buffer to its pool. Safe to call on a
+// zero or already-released frame.
+func (f *Frame) Release() {
+	if f.pool != nil {
+		f.pool.Put(f.Data)
+		f.pool = nil
+	}
+	f.Data = nil
+}
+
+// Pool is a recycling pool of packet buffers, the software stand-in
+// for a NIC's registered RX/TX buffer ring. Get returns a zero-length
+// slice with at least BufCap capacity; Put recycles one. In steady
+// state a datapath running on a Pool performs no heap allocation.
+//
+// Pool is safe for concurrent use: a real transport's reader goroutine
+// Gets while the dispatch goroutine Puts (Releases).
+type Pool struct {
+	mu     sync.Mutex
+	free   [][]byte
+	bufCap int
+	limit  int
+
+	// News counts buffers created because the pool was empty (the
+	// steady-state datapath should stop adding to it).
+	News uint64
+}
+
+// NewPool returns a pool of buffers with the given capacity (typically
+// the transport MTU, plus any transport-internal headroom). limit
+// bounds the number of retained free buffers; <= 0 means a default
+// sized like a large NIC ring.
+func NewPool(bufCap, limit int) *Pool {
+	if bufCap <= 0 {
+		panic("transport: Pool bufCap must be positive")
+	}
+	if limit <= 0 {
+		limit = 8192
+	}
+	return &Pool{bufCap: bufCap, limit: limit}
+}
+
+// BufCap reports the capacity of the pool's buffers.
+func (p *Pool) BufCap() int { return p.bufCap }
+
+// Get returns a zero-length buffer with capacity BufCap.
+func (p *Pool) Get() []byte {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return b[:0]
+	}
+	p.News++
+	p.mu.Unlock()
+	return make([]byte, 0, p.bufCap)
+}
+
+// Put recycles a buffer obtained from Get. Foreign or undersized
+// buffers are rejected (dropped to the GC) rather than poisoning the
+// pool.
+func (p *Pool) Put(b []byte) {
+	if cap(b) < p.bufCap {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < p.limit {
+		p.free = append(p.free, b[:0])
+	}
+	p.mu.Unlock()
+}

@@ -21,6 +21,7 @@ type Faulty struct {
 	mu   sync.Mutex
 	rng  *rand.Rand
 	held []heldPkt
+	out  []Frame // scratch burst after fault injection (guarded by mu)
 
 	// Fault probabilities in [0, 1), applied independently per packet.
 	DropRate    float64
@@ -31,6 +32,9 @@ type Faulty struct {
 	Drops    uint64
 	Dups     uint64
 	Reorders uint64
+	// Bursts counts SendBurst calls, so tests can assert the burst
+	// path was exercised.
+	Bursts uint64
 }
 
 type heldPkt struct {
@@ -99,6 +103,59 @@ func (f *Faulty) Send(dst Addr, frame []byte) {
 		f.t.Send(h.dst, h.frame)
 	}
 }
+
+// SendBurst implements Transport, subjecting every frame of the burst
+// to the fault lottery independently: survivors (plus duplicates and
+// released held-back packets) are forwarded downstream as one burst,
+// so the wrapped transport's batched TX path is exercised under
+// faults.
+func (f *Faulty) SendBurst(frames []Frame) {
+	f.mu.Lock()
+	f.Bursts++
+	out := f.out[:0]
+	for i := range frames {
+		dst, data := frames[i].Addr, frames[i].Data
+		// Each frame counts as one send for the held-packet overtake
+		// logic, exactly like a sequence of Send calls.
+		kept := f.held[:0]
+		for _, h := range f.held {
+			h.after--
+			if h.after <= 0 {
+				out = append(out, Frame{Data: h.frame, Addr: h.dst})
+			} else {
+				kept = append(kept, h)
+			}
+		}
+		f.held = kept
+
+		roll := f.rng.Float64()
+		switch {
+		case roll < f.DropRate:
+			f.Drops++
+		case roll < f.DropRate+f.DupRate:
+			f.Dups++
+			out = append(out, Frame{Data: data, Addr: dst}, Frame{Data: data, Addr: dst})
+		case roll < f.DropRate+f.DupRate+f.ReorderRate:
+			f.Reorders++
+			// Copy: the caller reuses the frame after SendBurst returns,
+			// but the held packet outlives the call.
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			f.held = append(f.held, heldPkt{dst: dst, frame: cp, after: 1 + f.rng.Intn(3)})
+		default:
+			out = append(out, Frame{Data: data, Addr: dst})
+		}
+	}
+	f.t.SendBurst(out)
+	for i := range out {
+		out[i] = Frame{} // drop buffer references; keep scratch capacity
+	}
+	f.out = out[:0]
+	f.mu.Unlock()
+}
+
+// RecvBurst implements Transport.
+func (f *Faulty) RecvBurst(frames []Frame) int { return f.t.RecvBurst(frames) }
 
 // Recv implements Transport.
 func (f *Faulty) Recv() ([]byte, Addr, bool) { return f.t.Recv() }

@@ -6,6 +6,28 @@
 // Two implementations exist: a real UDP transport (this package) and
 // the simulated datacenter fabric (package simnet). Both deliver
 // at-most-once, possibly-reordered, MTU-bounded frames.
+//
+// # The burst datapath
+//
+// The hot path moves packets in bursts, mirroring the paper's NIC
+// datapath (§4.2-4.3): RecvBurst fills a caller-provided slice of
+// Frames (up to 16 per event-loop iteration in the core), SendBurst
+// transmits a batch with one doorbell/lock acquisition, and RX buffers
+// come from a recycling Pool that the receiver re-posts to with
+// Frame.Release once a packet is processed — exactly like re-posting a
+// NIC RX descriptor. The single-frame Send/Recv methods remain for
+// cold paths and simple clients.
+//
+// Buffer-ownership rules (the zero-copy idiom of §4.2.3):
+//
+//   - An RX Frame's Data is valid from RecvBurst until Release; the
+//     receiver must copy anything it needs longer. Release re-posts
+//     the buffer, after which the transport may overwrite it.
+//   - A buffer returned by single-frame Recv is valid until the next
+//     Recv call.
+//   - TX buffers (Send and SendBurst) are owned by the caller and may
+//     be reused as soon as the call returns; the transport copies or
+//     completes transmission synchronously.
 package transport
 
 import "fmt"
@@ -57,6 +79,19 @@ type Transport interface {
 	// Send transmits one frame to dst. It never blocks; frames may be
 	// silently dropped (by the network or full queues).
 	Send(dst Addr, frame []byte)
+	// SendBurst transmits a batch of frames (Data + destination Addr)
+	// with one doorbell: implementations acquire their TX lock and
+	// flush their DMA queue once per burst, not per packet (§4.2.2).
+	// Callers keep ownership of the frames; the buffers may be reused
+	// as soon as SendBurst returns. It never blocks; any frame may be
+	// silently dropped.
+	SendBurst(frames []Frame)
+	// RecvBurst fills up to len(frames) received frames and returns
+	// how many it wrote. Each returned frame is valid until its
+	// Release, which re-posts the buffer to the transport's pool (like
+	// re-posting a NIC RX descriptor). Implementations drain their RX
+	// ring under one lock acquisition per burst.
+	RecvBurst(frames []Frame) int
 	// Recv polls for one received frame. ok is false if none is
 	// pending. The returned slice is valid until the next Recv.
 	Recv() (frame []byte, from Addr, ok bool)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 )
 
@@ -14,24 +15,41 @@ import (
 // latency).
 //
 // A reader goroutine moves datagrams from the socket into a bounded
-// ring; the Rpc event loop drains the ring with Recv. The ring models
-// the NIC RX queue: overflow drops packets, exactly like an empty RQ.
+// ring of pooled buffers; the Rpc event loop drains the ring in bursts
+// with RecvBurst and re-posts each buffer with Frame.Release after
+// processing. The ring models the NIC RX queue: a fixed-capacity array
+// indexed by head/tail (never resliced, so its memory footprint is
+// constant), whose overflow drops packets exactly like an empty RQ.
+// The datapath is allocation-free in steady state: RX buffers recycle
+// through a Pool, TX assembles into a scratch buffer under one lock
+// acquisition per burst, and the socket I/O uses the netip-based
+// methods that avoid per-datagram address allocations.
 type UDP struct {
 	conn  *net.UDPConn
 	local Addr
 	mtu   int
 
 	mu    sync.Mutex
-	peers map[Addr]*net.UDPAddr
-	rring []udpPkt // bounded FIFO
+	peers map[Addr]netip.AddrPort
 	wake  func()
 	done  chan struct{}
 
-	// Drops counts ring-overflow drops.
-	Drops uint64
+	// RX ring: fixed storage, head/tail indices. count = tail - head;
+	// slot i lives at ring[i & udpRingMask].
+	ring [udpRingCap]udpPkt
+	head uint64
+	tail uint64
 
-	// cur is the buffer most recently returned by Recv; reused.
-	cur []byte
+	rxPool *Pool
+
+	// TX state, serialized independently of the RX ring so a send
+	// burst never delays the reader goroutine.
+	txMu      sync.Mutex
+	txScratch []byte           // one frame being prefixed for the wire
+	apScratch []netip.AddrPort // per-burst resolved destinations
+
+	// Drops counts ring-overflow drops (guarded by mu).
+	Drops uint64
 }
 
 type udpPkt struct {
@@ -43,8 +61,11 @@ type udpPkt struct {
 const DefaultUDPMTU = 1472
 
 // udpRingCap is the RX ring capacity in packets, sized like a large
-// NIC RQ.
-const udpRingCap = 8192
+// NIC RQ. Must be a power of two (head/tail indices wrap by masking).
+const (
+	udpRingCap  = 8192
+	udpRingMask = udpRingCap - 1
+)
 
 // NewUDP binds a UDP socket at bind (e.g. "127.0.0.1:0") and returns a
 // transport with the given local eRPC address.
@@ -58,11 +79,13 @@ func NewUDP(local Addr, bind string) (*UDP, error) {
 		return nil, fmt.Errorf("transport: listen %q: %w", bind, err)
 	}
 	u := &UDP{
-		conn:  conn,
-		local: local,
-		mtu:   DefaultUDPMTU,
-		peers: map[Addr]*net.UDPAddr{},
-		done:  make(chan struct{}),
+		conn:      conn,
+		local:     local,
+		mtu:       DefaultUDPMTU,
+		peers:     map[Addr]netip.AddrPort{},
+		done:      make(chan struct{}),
+		rxPool:    NewPool(DefaultUDPMTU, udpRingCap+64),
+		txScratch: make([]byte, 4+DefaultUDPMTU),
 	}
 	go u.readLoop()
 	return u, nil
@@ -78,8 +101,14 @@ func (u *UDP) AddPeer(a Addr, udpAddr string) error {
 	if err != nil {
 		return fmt.Errorf("transport: resolve peer %q: %w", udpAddr, err)
 	}
+	ap := ua.AddrPort()
+	if ap.Addr().Is4In6() {
+		// Normalize the mapped form so WriteToUDPAddrPort on a
+		// dual-stack socket takes the IPv4 fast path.
+		ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	}
 	u.mu.Lock()
-	u.peers[a] = ua
+	u.peers[a] = ap
 	u.mu.Unlock()
 	return nil
 }
@@ -94,30 +123,57 @@ func (u *UDP) LocalAddr() Addr { return u.local }
 // are oversized frames; both are "network" losses from the RPC layer's
 // point of view.
 func (u *UDP) Send(dst Addr, frame []byte) {
-	if len(frame) > u.mtu {
-		return
-	}
 	u.mu.Lock()
-	ua := u.peers[dst]
+	ap := u.peers[dst]
 	u.mu.Unlock()
-	if ua == nil {
+	u.txMu.Lock()
+	u.sendOne(ap, frame)
+	u.txMu.Unlock()
+}
+
+// SendBurst implements Transport: the whole batch is transmitted under
+// one TX lock acquisition (the paper's single DMA-queue flush per
+// burst), with destinations resolved under one peer-table lock.
+func (u *UDP) SendBurst(frames []Frame) {
+	if len(frames) == 0 {
 		return
 	}
-	// Prefix the frame with the 4-byte source address so the receiver
-	// can demultiplex without consulting a reverse peer table.
-	pkt := make([]byte, 4+len(frame))
+	u.txMu.Lock()
+	if cap(u.apScratch) < len(frames) {
+		u.apScratch = make([]netip.AddrPort, len(frames))
+	}
+	aps := u.apScratch[:len(frames)]
+	u.mu.Lock()
+	for i := range frames {
+		aps[i] = u.peers[frames[i].Addr]
+	}
+	u.mu.Unlock()
+	for i := range frames {
+		u.sendOne(aps[i], frames[i].Data)
+	}
+	u.txMu.Unlock()
+}
+
+// sendOne prefixes one frame with the 4-byte source address (so the
+// receiver can demultiplex without a reverse peer table) and writes it
+// to the socket. Callers hold txMu, which guards txScratch.
+func (u *UDP) sendOne(ap netip.AddrPort, frame []byte) {
+	if !ap.IsValid() || len(frame) > u.mtu {
+		return
+	}
+	pkt := u.txScratch[:4+len(frame)]
 	pkt[0] = byte(u.local.Node >> 8)
 	pkt[1] = byte(u.local.Node)
 	pkt[2] = byte(u.local.Port >> 8)
 	pkt[3] = byte(u.local.Port)
 	copy(pkt[4:], frame)
-	_, _ = u.conn.WriteToUDP(pkt, ua) // best-effort: unreliable transport
+	_, _ = u.conn.WriteToUDPAddrPort(pkt, ap) // best-effort: unreliable transport
 }
 
 func (u *UDP) readLoop() {
-	buf := make([]byte, u.mtu+4)
+	rbuf := make([]byte, u.mtu+4)
 	for {
-		n, _, err := u.conn.ReadFromUDP(buf)
+		n, _, err := u.conn.ReadFromUDPAddrPort(rbuf)
 		if err != nil {
 			select {
 			case <-u.done:
@@ -133,38 +189,64 @@ func (u *UDP) readLoop() {
 			continue
 		}
 		from := Addr{
-			Node: uint16(buf[0])<<8 | uint16(buf[1]),
-			Port: uint16(buf[2])<<8 | uint16(buf[3]),
+			Node: uint16(rbuf[0])<<8 | uint16(rbuf[1]),
+			Port: uint16(rbuf[2])<<8 | uint16(rbuf[3]),
 		}
-		frame := make([]byte, n-4)
-		copy(frame, buf[4:n])
-		u.mu.Lock()
-		var wake func()
-		if len(u.rring) >= udpRingCap {
-			u.Drops++
-		} else {
-			if len(u.rring) == 0 {
-				wake = u.wake
-			}
-			u.rring = append(u.rring, udpPkt{buf: frame, from: from})
-		}
-		u.mu.Unlock()
-		if wake != nil {
-			wake()
-		}
+		u.enqueue(append(u.rxPool.Get(), rbuf[4:n]...), from)
 	}
 }
 
-// Recv implements Transport.
+// enqueue pushes one received packet into the RX ring, dropping (and
+// re-posting the buffer) on overflow, and wakes the event loop on the
+// empty→non-empty transition.
+func (u *UDP) enqueue(buf []byte, from Addr) {
+	u.mu.Lock()
+	var wake func()
+	if u.tail-u.head >= udpRingCap {
+		u.Drops++
+		u.mu.Unlock()
+		u.rxPool.Put(buf)
+		return
+	}
+	if u.tail == u.head {
+		wake = u.wake
+	}
+	u.ring[u.tail&udpRingMask] = udpPkt{buf: buf, from: from}
+	u.tail++
+	u.mu.Unlock()
+	if wake != nil {
+		wake()
+	}
+}
+
+// RecvBurst implements Transport: the ring is drained under a single
+// lock acquisition per burst. Each frame's buffer returns to the RX
+// pool via Release.
+func (u *UDP) RecvBurst(frames []Frame) int {
+	u.mu.Lock()
+	n := 0
+	for n < len(frames) && u.head != u.tail {
+		p := &u.ring[u.head&udpRingMask]
+		frames[n] = PooledFrame(p.buf, p.from, u.rxPool)
+		*p = udpPkt{}
+		u.head++
+		n++
+	}
+	u.mu.Unlock()
+	return n
+}
+
+// Recv implements Transport. The returned buffer is not recycled (it
+// stays valid indefinitely); hot paths should use RecvBurst + Release.
 func (u *UDP) Recv() ([]byte, Addr, bool) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	if len(u.rring) == 0 {
+	if u.head == u.tail {
 		return nil, Addr{}, false
 	}
-	p := u.rring[0]
-	u.rring = u.rring[1:]
-	u.cur = p.buf
+	p := u.ring[u.head&udpRingMask]
+	u.ring[u.head&udpRingMask] = udpPkt{}
+	u.head++
 	return p.buf, p.from, true
 }
 
@@ -180,3 +262,5 @@ func (u *UDP) Close() error {
 	close(u.done)
 	return u.conn.Close()
 }
+
+var _ Transport = (*UDP)(nil)

@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-quick fuzz fmt-check ci
+.PHONY: build test race vet bench bench-quick fuzz fmt-check ci test-nommsg
+
+# The portable per-packet UDP engine, forced on Linux via the nommsg
+# build tag (CI runs this so the fallback cannot rot).
+test-nommsg:
+	$(GO) test -tags=nommsg ./...
 
 build:
 	$(GO) build ./...
@@ -17,9 +22,12 @@ vet:
 # bench regenerates the recorded benchmark artifacts: BENCH_datapath.json
 # (the burst-datapath multicore sweep: simulated Mrps, wall seconds and
 # allocs/op per endpoint count; the pre-refactor baseline section is
-# preserved) and then runs the full reduced-scale benchmark suite once.
+# preserved) and BENCH_udpsyscall.json (the batched-syscall UDP sweep:
+# per-packet vs mmsg engines, loopback RPC krps + syscalls/op + TX
+# blast), then runs the full reduced-scale benchmark suite once.
 bench:
 	$(GO) run ./cmd/erpc-bench -datapath BENCH_datapath.json -scale 0.25
+	$(GO) run ./cmd/erpc-bench -udpsyscall BENCH_udpsyscall.json -scale 0.5
 	$(GO) test -bench . -benchtime 1x -run XXX .
 
 bench-quick:
@@ -37,4 +45,4 @@ fuzz:
 	$(GO) test -fuzz FuzzProcessPkt -fuzztime 30s ./internal/core/
 	$(GO) test -fuzz FuzzRxBurst -fuzztime 30s ./internal/core/
 
-ci: fmt-check build vet race
+ci: fmt-check build vet race test-nommsg

@@ -161,4 +161,7 @@ func main() {
 		fmt.Printf("overall latency µs: %s\n", all.Summary())
 	}
 	fmt.Printf("retransmits: %d\n", st.Retransmits)
+	engine, syscalls, batches := erpc.UDPSyscallStats(trs)
+	fmt.Printf("udp engine %s: %d data syscalls (%.2f/rpc), %d mmsg batches\n",
+		engine, syscalls, float64(syscalls)/float64(max(total, 1)), batches)
 }

@@ -112,6 +112,8 @@ func main() {
 	for i := 0; i < server.NumEndpoints(); i++ {
 		fmt.Printf("  endpoint 1:%d handled %d\n", i, server.Rpc(i).Stats.HandlersRun)
 	}
+	engine, syscalls, batches := erpc.UDPSyscallStats(trs)
+	fmt.Printf("udp engine %s: %d data syscalls, %d mmsg batches\n", engine, syscalls, batches)
 }
 
 // splitPeer parses "host:port/m" into the base address and endpoint

@@ -15,7 +15,18 @@ import (
 // both sides, server RX burst, handler dispatch, response path, client
 // completion — including the reader goroutines, since
 // testing.AllocsPerRun counts process-wide mallocs.
+//
+// The guard runs once per compiled-in UDP syscall engine: the batched
+// sendmmsg/recvmmsg datapath must be exactly as allocation-free as the
+// per-packet fallback (its mmsghdr/iovec arrays and syscall closures
+// are preallocated at engine construction).
 func TestSmallRPCAllocFree(t *testing.T) {
+	for _, engine := range udpEngines() {
+		t.Run(engine, func(t *testing.T) { runSmallRPCAllocFree(t, engine) })
+	}
+}
+
+func runSmallRPCAllocFree(t *testing.T, engine string) {
 	nx := erpc.NewNexus()
 	nx.Register(1, erpc.Handler{Fn: func(ctx *erpc.ReqContext) {
 		out := ctx.AllocResponse(len(ctx.Req))
@@ -23,12 +34,12 @@ func TestSmallRPCAllocFree(t *testing.T) {
 		ctx.EnqueueResponse()
 	}})
 
-	srvTr, err := erpc.NewUDPTransport(erpc.Addr{Node: 1, Port: 0}, "127.0.0.1:0")
+	srvTr, err := newUDPTransportEngine(engine, erpc.Addr{Node: 1, Port: 0}, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srvTr.Close()
-	cliTr, err := erpc.NewUDPTransport(erpc.Addr{Node: 2, Port: 0}, "127.0.0.1:0")
+	cliTr, err := newUDPTransportEngine(engine, erpc.Addr{Node: 2, Port: 0}, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -129,10 +129,26 @@ func NewWallClock() Clock { return sim.NewWallClock() }
 
 // NewUDPTransport binds a real UDP socket for endpoint addr at the
 // given bind address (e.g. "127.0.0.1:0"). Use AddPeer on the returned
-// transport to map remote endpoint addresses to UDP addresses.
+// transport to map remote endpoint addresses to UDP addresses. The
+// socket uses the platform's best syscall engine: batched
+// sendmmsg/recvmmsg on Linux (one kernel crossing per RX/TX burst),
+// the portable per-packet engine elsewhere; the transport's Engine,
+// Syscalls and MmsgBatches report which one ran and what it cost.
 func NewUDPTransport(addr Addr, bind string) (*transport.UDP, error) {
 	return transport.NewUDP(addr, bind)
 }
+
+// NewUDPTransportPerPacket is NewUDPTransport with the portable
+// per-packet syscall engine forced (one syscall per datagram), for
+// comparing engines or sidestepping the batched path.
+func NewUDPTransportPerPacket(addr Addr, bind string) (*transport.UDP, error) {
+	return transport.NewUDPPerPacket(addr, bind)
+}
+
+// UDPMmsgSupported reports whether the batched sendmmsg/recvmmsg UDP
+// engine is compiled into this binary (Linux amd64/arm64 without the
+// `nommsg` build tag).
+const UDPMmsgSupported = transport.MmsgSupported
 
 // NewPool returns a recycling packet-buffer pool for a custom
 // Transport's burst datapath (see transport.NewPool).
@@ -173,13 +189,24 @@ func StripeAddr(local Addr, remotes []Addr, k int) Addr {
 // ephemeral ports when basePort is 0). On error, already-bound sockets
 // are closed.
 func ListenUDP(node uint16, host string, basePort, n int) ([]*transport.UDP, error) {
+	return listenUDP(node, host, basePort, n, transport.NewUDP)
+}
+
+// ListenUDPPerPacket is ListenUDP with the portable per-packet syscall
+// engine forced on every socket (see NewUDPTransportPerPacket).
+func ListenUDPPerPacket(node uint16, host string, basePort, n int) ([]*transport.UDP, error) {
+	return listenUDP(node, host, basePort, n, transport.NewUDPPerPacket)
+}
+
+func listenUDP(node uint16, host string, basePort, n int,
+	newUDP func(Addr, string) (*transport.UDP, error)) ([]*transport.UDP, error) {
 	var trs []*transport.UDP
 	for i := 0; i < n; i++ {
 		port := 0
 		if basePort != 0 {
 			port = basePort + i
 		}
-		u, err := transport.NewUDP(Addr{Node: node, Port: uint16(i)},
+		u, err := newUDP(Addr{Node: node, Port: uint16(i)},
 			net.JoinHostPort(host, strconv.Itoa(port)))
 		if err != nil {
 			for _, t := range trs {
@@ -250,6 +277,26 @@ func AddPeersUDP(locals []*transport.UDP, remoteNode uint16, host string, basePo
 		}
 	}
 	return nil
+}
+
+// UDPSyscallStats sums the syscall counters over a process's UDP
+// transports: the engine name ("mixed" if the transports disagree,
+// "none" for an empty set), total data-plane kernel crossings, and
+// how many of them were multi-message sendmmsg/recvmmsg batches. The
+// erpc-server/-client commands report these at exit.
+func UDPSyscallStats(trs []*transport.UDP) (engine string, syscalls, batches uint64) {
+	engine = "none"
+	for _, tr := range trs {
+		switch e := tr.Engine(); engine {
+		case "none", e:
+			engine = e
+		default:
+			engine = "mixed"
+		}
+		syscalls += tr.Syscalls.Load()
+		batches += tr.MmsgBatches.Load()
+	}
+	return engine, syscalls, batches
 }
 
 // NewFaultyTransport wraps t with send-side fault injection (drops,

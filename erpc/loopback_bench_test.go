@@ -9,21 +9,28 @@ import (
 
 // BenchmarkLoopbackRPC measures the full small-RPC round trip over UDP
 // loopback with manually driven event loops — the real-transport hot
-// path the burst datapath optimizes. Run with -benchmem to see the
-// zero-alloc property.
+// path the burst datapath optimizes. One sub-benchmark per compiled-in
+// UDP syscall engine (mmsg vs per-packet) exposes the batched-syscall
+// win directly. Run with -benchmem to see the zero-alloc property.
 func BenchmarkLoopbackRPC(b *testing.B) {
+	for _, engine := range udpEngines() {
+		b.Run(engine, func(b *testing.B) { runLoopbackRPC(b, engine) })
+	}
+}
+
+func runLoopbackRPC(b *testing.B, engine string) {
 	nx := erpc.NewNexus()
 	nx.Register(1, erpc.Handler{Fn: func(ctx *erpc.ReqContext) {
 		out := ctx.AllocResponse(len(ctx.Req))
 		copy(out, ctx.Req)
 		ctx.EnqueueResponse()
 	}})
-	srvTr, err := erpc.NewUDPTransport(erpc.Addr{Node: 1, Port: 0}, "127.0.0.1:0")
+	srvTr, err := newUDPTransportEngine(engine, erpc.Addr{Node: 1, Port: 0}, "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer srvTr.Close()
-	cliTr, err := erpc.NewUDPTransport(erpc.Addr{Node: 2, Port: 0}, "127.0.0.1:0")
+	cliTr, err := newUDPTransportEngine(engine, erpc.Addr{Node: 2, Port: 0}, "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
 	}

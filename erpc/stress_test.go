@@ -21,7 +21,17 @@ import (
 // at-most-once handler execution (no request ever executes twice,
 // despite duplicates and retransmissions) and eventual completion of
 // every RPC.
+//
+// The whole scenario runs once per compiled-in UDP syscall engine, so
+// the batched sendmmsg/recvmmsg path faces the same fault lottery as
+// the portable per-packet fallback.
 func TestUDPAdversity(t *testing.T) {
+	for _, engine := range udpEngines() {
+		t.Run(engine, func(t *testing.T) { runUDPAdversity(t, engine) })
+	}
+}
+
+func runUDPAdversity(t *testing.T, engine string) {
 	const (
 		srvEps  = 2
 		nreqs   = 300
@@ -48,11 +58,11 @@ func TestUDPAdversity(t *testing.T) {
 		ctx.EnqueueResponse()
 	}})
 
-	srvTrs, err := erpc.ListenUDP(1, "127.0.0.1", 0, srvEps)
+	srvTrs, err := listenUDPEngine(engine, 1, "127.0.0.1", 0, srvEps)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cliTrs, err := erpc.ListenUDP(100, "127.0.0.1", 0, 1)
+	cliTrs, err := listenUDPEngine(engine, 100, "127.0.0.1", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,5 +163,18 @@ func TestUDPAdversity(t *testing.T) {
 	}
 	if cs.PktsTx <= cs.TxBursts {
 		t.Fatalf("no multi-frame bursts: %d packets in %d bursts", cs.PktsTx, cs.TxBursts)
+	}
+
+	// The requested syscall engine really ran, and on the mmsg engine
+	// the run must have crossed the kernel in multi-message batches.
+	eng, syscalls, batches := erpc.UDPSyscallStats(append(srvTrs, cliTrs...))
+	if eng != engine {
+		t.Fatalf("ran on engine %q, want %q", eng, engine)
+	}
+	if engine == "mmsg" && batches == 0 {
+		t.Fatalf("mmsg engine made no multi-message batches over %d syscalls", syscalls)
+	}
+	if engine == "per-packet" && batches != 0 {
+		t.Fatalf("per-packet engine reported %d mmsg batches", batches)
 	}
 }

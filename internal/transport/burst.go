@@ -32,8 +32,14 @@ type Frame struct {
 	Data []byte
 	// Addr is the peer endpoint: destination on TX, source on RX.
 	Addr Addr
-	// pool receives Data back on Release; nil for unpooled frames.
+	// pool receives the backing buffer on Release; nil for unpooled
+	// frames.
 	pool *Pool
+	// base, when non-nil, is the full pooled buffer that Data aliases
+	// a tail of (a transport that receives wire headers in place hands
+	// out Data past the header but must recycle the whole buffer).
+	// Release re-posts base instead of Data when set.
+	base []byte
 }
 
 // PooledFrame binds a buffer to the pool it returns to on Release.
@@ -46,10 +52,15 @@ func PooledFrame(data []byte, from Addr, p *Pool) Frame {
 // zero or already-released frame.
 func (f *Frame) Release() {
 	if f.pool != nil {
-		f.pool.Put(f.Data)
+		if f.base != nil {
+			f.pool.Put(f.base)
+		} else {
+			f.pool.Put(f.Data)
+		}
 		f.pool = nil
 	}
 	f.Data = nil
+	f.base = nil
 }
 
 // Pool is a recycling pool of packet buffers, the software stand-in

@@ -108,11 +108,17 @@ func (f *Faulty) Send(dst Addr, frame []byte) {
 // to the fault lottery independently: survivors (plus duplicates and
 // released held-back packets) are forwarded downstream as one burst,
 // so the wrapped transport's batched TX path is exercised under
-// faults.
+// faults. The downstream flush happens outside the critical section,
+// like Send: holding f.mu across the wrapped transport's syscall
+// would block every concurrent Send for the duration of a kernel
+// crossing. The scratch burst is detached while in flight, so a
+// (contract-violating but harmless) concurrent SendBurst falls back
+// to a fresh slice instead of sharing it.
 func (f *Faulty) SendBurst(frames []Frame) {
 	f.mu.Lock()
 	f.Bursts++
 	out := f.out[:0]
+	f.out = nil // detached until the downstream flush completes
 	for i := range frames {
 		dst, data := frames[i].Addr, frames[i].Data
 		// Each frame counts as one send for the held-packet overtake
@@ -146,11 +152,15 @@ func (f *Faulty) SendBurst(frames []Frame) {
 			out = append(out, Frame{Data: data, Addr: dst})
 		}
 	}
+	f.mu.Unlock()
 	f.t.SendBurst(out)
 	for i := range out {
 		out[i] = Frame{} // drop buffer references; keep scratch capacity
 	}
-	f.out = out[:0]
+	f.mu.Lock()
+	if f.out == nil {
+		f.out = out[:0] // reattach the scratch for the next burst
+	}
 	f.mu.Unlock()
 }
 

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // UDP is a Transport over a real UDP socket. It exists so that eRPC is
@@ -21,18 +23,41 @@ import (
 // indexed by head/tail (never resliced, so its memory footprint is
 // constant), whose overflow drops packets exactly like an empty RQ.
 // The datapath is allocation-free in steady state: RX buffers recycle
-// through a Pool, TX assembles into a scratch buffer under one lock
-// acquisition per burst, and the socket I/O uses the netip-based
-// methods that avoid per-datagram address allocations.
+// through a Pool and datagrams are received straight into them (no
+// per-packet copy), TX runs under one lock acquisition per burst, and
+// all socket I/O avoids per-datagram address allocations.
+//
+// # Syscall engines
+//
+// The socket I/O itself is pluggable between two engines:
+//
+//   - mmsg (Linux, default): SendBurst and the reader goroutine use
+//     sendmmsg(2)/recvmmsg(2), so a full burst of N frames costs one
+//     kernel crossing instead of N — the socket-world analogue of the
+//     paper's one-DMA-flush-per-TX-burst discipline (§4.2). TX gathers
+//     the 4-byte source prefix and the frame as a two-entry iovec, so
+//     frames go to the kernel straight from the caller's buffers.
+//   - per-packet (all platforms; forced with the `nommsg` build tag or
+//     NewUDPPerPacket): one ReadFromUDPAddrPort/WriteToUDPAddrPort per
+//     datagram, the portable fallback.
+//
+// The Syscalls and MmsgBatches counters expose the difference: a
+// loopback benchmark under the mmsg engine completes bursts with
+// Syscalls ≈ bursts, while the per-packet engine pays Syscalls ≈
+// packets.
 type UDP struct {
 	conn  *net.UDPConn
 	local Addr
 	mtu   int
+	eng   udpEngine
 
 	mu    sync.Mutex
-	peers map[Addr]netip.AddrPort
+	peers map[Addr]udpDest
 	wake  func()
 	done  chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
 
 	// RX ring: fixed storage, head/tail indices. count = tail - head;
 	// slot i lives at ring[i & udpRingMask].
@@ -45,20 +70,61 @@ type UDP struct {
 	// TX state, serialized independently of the RX ring so a send
 	// burst never delays the reader goroutine.
 	txMu      sync.Mutex
-	txScratch []byte           // one frame being prefixed for the wire
-	apScratch []netip.AddrPort // per-burst resolved destinations
+	txScratch []byte    // one frame being prefixed for the wire (per-packet engine)
+	apScratch []udpDest // per-burst resolved destinations
 
 	// Drops counts ring-overflow drops (guarded by mu).
 	Drops uint64
+
+	// Syscalls counts kernel crossings that moved data-plane packets
+	// (sendto/sendmmsg/recvfrom/recvmmsg invocations that transferred
+	// at least one datagram). MmsgBatches counts the subset that moved
+	// more than one datagram in a single syscall — always zero on the
+	// per-packet engine. Together they verify the batched datapath:
+	// a burst of N frames on the mmsg engine is one syscall, one batch.
+	Syscalls    atomic.Uint64
+	MmsgBatches atomic.Uint64
 }
 
+// udpEngine is the socket-I/O strategy: how bursts reach the kernel
+// and how the reader goroutine pulls datagrams out of it. Both engines
+// share the UDP core (peer table, RX ring, pool, wake).
+type udpEngine interface {
+	// name identifies the engine ("mmsg" or "per-packet").
+	name() string
+	// sendBurst transmits resolved frames. Called with u.txMu held;
+	// dsts[i] is the resolved destination of frames[i] (invalid =>
+	// unknown peer, to be dropped).
+	sendBurst(dsts []udpDest, frames []Frame)
+	// readLoop is the reader-goroutine body: it moves datagrams from
+	// the socket into the RX ring until the socket is closed.
+	readLoop()
+}
+
+// udpDest is a resolved peer: the UDP address plus, for link-local
+// IPv6 destinations, the numeric scope (interface index) that raw
+// sockaddr_in6 structs need — netip carries the zone as a string,
+// which only the net package's own write path can use.
+type udpDest struct {
+	ap    netip.AddrPort
+	scope uint32
+}
+
+// udpPkt is one RX ring slot. buf is the pooled wire buffer (including
+// the 4-byte source prefix) that returns to the pool on Release; data
+// is the frame payload aliasing buf's tail.
 type udpPkt struct {
 	buf  []byte
+	data []byte
 	from Addr
 }
 
 // DefaultUDPMTU bounds frames to a safe datagram size.
 const DefaultUDPMTU = 1472
+
+// udpHdrLen is the wire prefix: the 4-byte source eRPC address that
+// lets the receiver demultiplex without a reverse peer table.
+const udpHdrLen = 4
 
 // udpRingCap is the RX ring capacity in packets, sized like a large
 // NIC RQ. Must be a power of two (head/tail indices wrap by masking).
@@ -68,8 +134,23 @@ const (
 )
 
 // NewUDP binds a UDP socket at bind (e.g. "127.0.0.1:0") and returns a
-// transport with the given local eRPC address.
+// transport using the platform's best syscall engine: batched
+// sendmmsg/recvmmsg on Linux (unless built with the `nommsg` tag), the
+// portable per-packet engine elsewhere.
 func NewUDP(local Addr, bind string) (*UDP, error) {
+	return newUDP(local, bind, false)
+}
+
+// NewUDPPerPacket binds a UDP socket like NewUDP but forces the
+// portable per-packet engine (one syscall per datagram) even where the
+// mmsg engine is available. It exists so the two engines can be
+// compared in one process — the erpc-bench -udpsyscall sweep — and so
+// the fallback path is exercised by tests on Linux.
+func NewUDPPerPacket(local Addr, bind string) (*UDP, error) {
+	return newUDP(local, bind, true)
+}
+
+func newUDP(local Addr, bind string, perPacket bool) (*UDP, error) {
 	la, err := net.ResolveUDPAddr("udp", bind)
 	if err != nil {
 		return nil, fmt.Errorf("transport: resolve %q: %w", bind, err)
@@ -79,17 +160,28 @@ func NewUDP(local Addr, bind string) (*UDP, error) {
 		return nil, fmt.Errorf("transport: listen %q: %w", bind, err)
 	}
 	u := &UDP{
-		conn:      conn,
-		local:     local,
-		mtu:       DefaultUDPMTU,
-		peers:     map[Addr]netip.AddrPort{},
-		done:      make(chan struct{}),
-		rxPool:    NewPool(DefaultUDPMTU, udpRingCap+64),
-		txScratch: make([]byte, 4+DefaultUDPMTU),
+		conn:  conn,
+		local: local,
+		mtu:   DefaultUDPMTU,
+		peers: map[Addr]udpDest{},
+		done:  make(chan struct{}),
+		// Pool buffers hold a whole wire datagram (prefix + frame) so
+		// the engines can receive into them in place.
+		rxPool:    NewPool(udpHdrLen+DefaultUDPMTU, udpRingCap+64),
+		txScratch: make([]byte, udpHdrLen+DefaultUDPMTU),
 	}
-	go u.readLoop()
+	if perPacket {
+		u.eng = &perPacketEngine{u: u}
+	} else {
+		u.eng = newDefaultEngine(u)
+	}
+	go u.eng.readLoop()
 	return u, nil
 }
+
+// Engine reports which syscall engine this transport runs on:
+// "mmsg" (batched sendmmsg/recvmmsg) or "per-packet".
+func (u *UDP) Engine() string { return u.eng.name() }
 
 // BoundAddr returns the socket's actual address (useful with port 0).
 func (u *UDP) BoundAddr() *net.UDPAddr { return u.conn.LocalAddr().(*net.UDPAddr) }
@@ -107,8 +199,19 @@ func (u *UDP) AddPeer(a Addr, udpAddr string) error {
 		// dual-stack socket takes the IPv4 fast path.
 		ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
 	}
+	// Resolve a link-local zone to its interface index once, here: the
+	// mmsg engine writes raw sockaddr_in6 structs, whose Scope_id is
+	// numeric (netip only carries the zone name).
+	var scope uint32
+	if zone := ap.Addr().Zone(); zone != "" {
+		if ifi, err := net.InterfaceByName(zone); err == nil {
+			scope = uint32(ifi.Index)
+		} else if n, err := strconv.Atoi(zone); err == nil {
+			scope = uint32(n)
+		}
+	}
 	u.mu.Lock()
-	u.peers[a] = ap
+	u.peers[a] = udpDest{ap: ap, scope: scope}
 	u.mu.Unlock()
 	return nil
 }
@@ -121,85 +224,75 @@ func (u *UDP) LocalAddr() Addr { return u.local }
 
 // Send implements Transport. Frames to unknown peers are dropped, as
 // are oversized frames; both are "network" losses from the RPC layer's
-// point of view.
+// point of view. Send is the cold path and always writes one datagram
+// per syscall; hot paths batch through SendBurst.
 func (u *UDP) Send(dst Addr, frame []byte) {
 	u.mu.Lock()
-	ap := u.peers[dst]
+	d := u.peers[dst]
 	u.mu.Unlock()
 	u.txMu.Lock()
-	u.sendOne(ap, frame)
+	u.sendOne(d.ap, frame)
 	u.txMu.Unlock()
 }
 
 // SendBurst implements Transport: the whole batch is transmitted under
 // one TX lock acquisition (the paper's single DMA-queue flush per
-// burst), with destinations resolved under one peer-table lock.
+// burst), with destinations resolved under one peer-table lock — and,
+// on the mmsg engine, handed to the kernel in one sendmmsg call.
 func (u *UDP) SendBurst(frames []Frame) {
 	if len(frames) == 0 {
 		return
 	}
 	u.txMu.Lock()
 	if cap(u.apScratch) < len(frames) {
-		u.apScratch = make([]netip.AddrPort, len(frames))
+		u.apScratch = make([]udpDest, len(frames))
 	}
-	aps := u.apScratch[:len(frames)]
+	dsts := u.apScratch[:len(frames)]
 	u.mu.Lock()
 	for i := range frames {
-		aps[i] = u.peers[frames[i].Addr]
+		dsts[i] = u.peers[frames[i].Addr]
 	}
 	u.mu.Unlock()
-	for i := range frames {
-		u.sendOne(aps[i], frames[i].Data)
-	}
+	u.eng.sendBurst(dsts, frames)
 	u.txMu.Unlock()
 }
 
-// sendOne prefixes one frame with the 4-byte source address (so the
-// receiver can demultiplex without a reverse peer table) and writes it
-// to the socket. Callers hold txMu, which guards txScratch.
+// sendOne prefixes one frame with the 4-byte source address and writes
+// it to the socket as a single datagram. Callers hold txMu, which
+// guards txScratch.
 func (u *UDP) sendOne(ap netip.AddrPort, frame []byte) {
 	if !ap.IsValid() || len(frame) > u.mtu {
 		return
 	}
-	pkt := u.txScratch[:4+len(frame)]
+	pkt := u.txScratch[:udpHdrLen+len(frame)]
+	u.putHdr(pkt)
+	copy(pkt[udpHdrLen:], frame)
+	if _, err := u.conn.WriteToUDPAddrPort(pkt, ap); err == nil { // best-effort: unreliable transport
+		u.Syscalls.Add(1)
+	}
+}
+
+// putHdr writes the 4-byte source-address wire prefix.
+func (u *UDP) putHdr(pkt []byte) {
 	pkt[0] = byte(u.local.Node >> 8)
 	pkt[1] = byte(u.local.Node)
 	pkt[2] = byte(u.local.Port >> 8)
 	pkt[3] = byte(u.local.Port)
-	copy(pkt[4:], frame)
-	_, _ = u.conn.WriteToUDPAddrPort(pkt, ap) // best-effort: unreliable transport
 }
 
-func (u *UDP) readLoop() {
-	rbuf := make([]byte, u.mtu+4)
-	for {
-		n, _, err := u.conn.ReadFromUDPAddrPort(rbuf)
-		if err != nil {
-			select {
-			case <-u.done:
-				return
-			default:
-			}
-			if errors.Is(err, net.ErrClosed) {
-				return
-			}
-			continue
-		}
-		if n < 4 {
-			continue
-		}
-		from := Addr{
-			Node: uint16(rbuf[0])<<8 | uint16(rbuf[1]),
-			Port: uint16(rbuf[2])<<8 | uint16(rbuf[3]),
-		}
-		u.enqueue(append(u.rxPool.Get(), rbuf[4:n]...), from)
+// parseHdr decodes the source address from a wire buffer (len >= 4).
+func parseHdr(buf []byte) Addr {
+	return Addr{
+		Node: uint16(buf[0])<<8 | uint16(buf[1]),
+		Port: uint16(buf[2])<<8 | uint16(buf[3]),
 	}
 }
 
 // enqueue pushes one received packet into the RX ring, dropping (and
 // re-posting the buffer) on overflow, and wakes the event loop on the
-// empty→non-empty transition.
-func (u *UDP) enqueue(buf []byte, from Addr) {
+// empty→non-empty transition. buf is the pooled wire buffer that
+// Release re-posts; data is the frame payload aliasing it.
+func (u *UDP) enqueue(buf, data []byte, from Addr) {
 	u.mu.Lock()
 	var wake func()
 	if u.tail-u.head >= udpRingCap {
@@ -211,7 +304,7 @@ func (u *UDP) enqueue(buf []byte, from Addr) {
 	if u.tail == u.head {
 		wake = u.wake
 	}
-	u.ring[u.tail&udpRingMask] = udpPkt{buf: buf, from: from}
+	u.ring[u.tail&udpRingMask] = udpPkt{buf: buf, data: data, from: from}
 	u.tail++
 	u.mu.Unlock()
 	if wake != nil {
@@ -227,7 +320,7 @@ func (u *UDP) RecvBurst(frames []Frame) int {
 	n := 0
 	for n < len(frames) && u.head != u.tail {
 		p := &u.ring[u.head&udpRingMask]
-		frames[n] = PooledFrame(p.buf, p.from, u.rxPool)
+		frames[n] = Frame{Data: p.data, Addr: p.from, pool: u.rxPool, base: p.buf}
 		*p = udpPkt{}
 		u.head++
 		n++
@@ -236,18 +329,24 @@ func (u *UDP) RecvBurst(frames []Frame) int {
 	return n
 }
 
-// Recv implements Transport. The returned buffer is not recycled (it
-// stays valid indefinitely); hot paths should use RecvBurst + Release.
+// Recv implements Transport. It is the slow path: the payload is
+// copied into a fresh caller-owned slice (valid indefinitely) and the
+// pooled wire buffer is recycled immediately, so sustained Recv use
+// does not drain the RX pool. Hot paths use RecvBurst + Release.
 func (u *UDP) Recv() ([]byte, Addr, bool) {
 	u.mu.Lock()
-	defer u.mu.Unlock()
 	if u.head == u.tail {
+		u.mu.Unlock()
 		return nil, Addr{}, false
 	}
 	p := u.ring[u.head&udpRingMask]
 	u.ring[u.head&udpRingMask] = udpPkt{}
 	u.head++
-	return p.buf, p.from, true
+	u.mu.Unlock()
+	out := make([]byte, len(p.data))
+	copy(out, p.data)
+	u.rxPool.Put(p.buf)
+	return out, p.from, true
 }
 
 // SetWake implements Transport.
@@ -257,10 +356,63 @@ func (u *UDP) SetWake(fn func()) {
 	u.mu.Unlock()
 }
 
-// Close implements Transport.
+// Close implements Transport. It is idempotent: closing an
+// already-closed transport is a no-op returning the first result.
 func (u *UDP) Close() error {
-	close(u.done)
-	return u.conn.Close()
+	u.closeOnce.Do(func() {
+		close(u.done)
+		u.closeErr = u.conn.Close()
+	})
+	return u.closeErr
+}
+
+// closed reports whether Close has been called (used by the engines'
+// read loops to tell shutdown from transient socket errors).
+func (u *UDP) closed() bool {
+	select {
+	case <-u.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// perPacketEngine is the portable fallback: one syscall per datagram
+// through the net package. It is compiled on every platform (the mmsg
+// engine needs it to exist for NewUDPPerPacket and the nommsg build)
+// and is the default where mmsg is unavailable.
+type perPacketEngine struct{ u *UDP }
+
+func (e *perPacketEngine) name() string { return "per-packet" }
+
+func (e *perPacketEngine) sendBurst(dsts []udpDest, frames []Frame) {
+	for i := range frames {
+		e.u.sendOne(dsts[i].ap, frames[i].Data)
+	}
+}
+
+func (e *perPacketEngine) readLoop() {
+	u := e.u
+	for {
+		// Receive straight into a pooled wire buffer; the payload
+		// aliases it past the prefix, so there is no per-packet copy.
+		buf := u.rxPool.Get()
+		buf = buf[:cap(buf)]
+		n, _, err := u.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			u.rxPool.Put(buf)
+			if u.closed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		u.Syscalls.Add(1)
+		if n < udpHdrLen {
+			u.rxPool.Put(buf)
+			continue
+		}
+		u.enqueue(buf[:n], buf[udpHdrLen:n], parseHdr(buf))
+	}
 }
 
 var _ Transport = (*UDP)(nil)

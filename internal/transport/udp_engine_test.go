@@ -1,0 +1,252 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestUDPCloseIdempotent is the regression test for the double-Close
+// panic: Close used to close(u.done) unconditionally, so a second call
+// panicked on the closed channel. Close must be idempotent (callers
+// like Faulty.Close and deferred cleanups overlap in practice).
+func TestUDPCloseIdempotent(t *testing.T) {
+	u, err := NewUDP(Addr{1, 0}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := u.Close()
+	second := u.Close() // must not panic
+	if second != first {
+		t.Fatalf("second Close returned %v, first returned %v", second, first)
+	}
+	// And through a wrapper, as Faulty.Close + a deferred Close does.
+	f := NewFaulty(u, 1, 0, 0, 0)
+	if err := f.Close(); err != first {
+		t.Fatalf("Close through Faulty after Close = %v", err)
+	}
+}
+
+// TestUDPRecvRecycles is the regression test for the slow-path pool
+// drain: Recv used to hand out the pooled buffer itself and never Put
+// it back, so sustained Recv use grew Pool.News without bound. Recv
+// now copies into a caller-owned slice and recycles the wire buffer:
+// News must stay flat across N Recvs, and the returned slices must
+// survive later traffic.
+func TestUDPRecvRecycles(t *testing.T) {
+	a, b := newUDPPair(t)
+	// Prime the pool (reader window + in-flight buffers).
+	for i := 0; i < 50; i++ {
+		a.Send(Addr{1, 0}, []byte("prime"))
+		recvWait(t, b)
+	}
+	news0 := b.rxPool.News
+	const n = 300
+	kept := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		a.Send(Addr{1, 0}, []byte(fmt.Sprintf("pkt-%04d", i)))
+		f, from := recvWait(t, b)
+		if from != (Addr{0, 0}) {
+			t.Fatalf("packet %d from %v", i, from)
+		}
+		kept = append(kept, f)
+	}
+	if got := b.rxPool.News - news0; got != 0 {
+		t.Fatalf("Recv leaked pooled buffers: News grew by %d over %d Recvs", got, n)
+	}
+	// Caller ownership: every returned slice is intact even though the
+	// wire buffers behind them have been recycled many times over.
+	for i, f := range kept {
+		if want := fmt.Sprintf("pkt-%04d", i); !bytes.Equal(f, []byte(want)) {
+			t.Fatalf("Recv slice %d corrupted: %q, want %q", i, f, want)
+		}
+	}
+}
+
+// TestUDPEngineReported checks constructors pick the right engine.
+func TestUDPEngineReported(t *testing.T) {
+	u, err := NewUDP(Addr{1, 0}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	want := "per-packet"
+	if MmsgSupported {
+		want = "mmsg"
+	}
+	if got := u.Engine(); got != want {
+		t.Fatalf("NewUDP engine = %q, want %q", got, want)
+	}
+	p, err := NewUDPPerPacket(Addr{2, 0}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if got := p.Engine(); got != "per-packet" {
+		t.Fatalf("NewUDPPerPacket engine = %q", got)
+	}
+}
+
+// sendRecvBurst pushes one n-frame burst a→b and drains it, returning
+// the received payloads in arrival order.
+func sendRecvBurst(t *testing.T, a, b *UDP, n int) [][]byte {
+	t.Helper()
+	var burst []Frame
+	for i := 0; i < n; i++ {
+		burst = append(burst, Frame{Data: []byte(fmt.Sprintf("burst-%02d", i)), Addr: Addr{1, 0}})
+	}
+	a.SendBurst(burst)
+	got := make([]Frame, n)
+	var rcvd [][]byte
+	deadline := time.Now().Add(2 * time.Second)
+	for len(rcvd) < n && time.Now().Before(deadline) {
+		k := b.RecvBurst(got)
+		for i := 0; i < k; i++ {
+			rcvd = append(rcvd, append([]byte(nil), got[i].Data...))
+			got[i].Release()
+		}
+		if k == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	if len(rcvd) != n {
+		t.Fatalf("received %d of %d burst frames", len(rcvd), n)
+	}
+	return rcvd
+}
+
+// TestUDPSendBurstOneSyscall is the acceptance check of the batched
+// datapath: on the mmsg engine, a SendBurst of N>1 frames must issue
+// exactly one sendmmsg — one kernel crossing, one multi-message batch
+// — while delivering every frame.
+func TestUDPSendBurstOneSyscall(t *testing.T) {
+	if !MmsgSupported {
+		t.Skip("mmsg engine not compiled in (nommsg tag or unsupported platform)")
+	}
+	a, b := newUDPPair(t)
+	const n = 8
+	sys0, bat0 := a.Syscalls.Load(), a.MmsgBatches.Load()
+	rcvd := sendRecvBurst(t, a, b, n)
+	if got := a.Syscalls.Load() - sys0; got != 1 {
+		t.Fatalf("SendBurst of %d frames took %d syscalls, want exactly 1", n, got)
+	}
+	if got := a.MmsgBatches.Load() - bat0; got != 1 {
+		t.Fatalf("SendBurst of %d frames made %d mmsg batches, want exactly 1", n, got)
+	}
+	for i, data := range rcvd {
+		if want := fmt.Sprintf("burst-%02d", i); string(data) != want {
+			t.Fatalf("frame %d = %q, want %q", i, data, want)
+		}
+	}
+}
+
+// TestUDPRecvBurstBatched checks the RX half: a burst deposited by one
+// sendmmsg must be pulled out of the kernel by batched recvmmsg calls
+// — observable as MmsgBatches incrementing and strictly fewer RX
+// syscalls than packets. The reader races packet arrival, so a single
+// attempt may legitimately see packets one at a time; any batching
+// within a few attempts proves the path.
+func TestUDPRecvBurstBatched(t *testing.T) {
+	if !MmsgSupported {
+		t.Skip("mmsg engine not compiled in (nommsg tag or unsupported platform)")
+	}
+	a, b := newUDPPair(t)
+	const n = 16
+	var pkts, syscalls uint64
+	for attempt := 0; attempt < 20; attempt++ {
+		sys0 := b.Syscalls.Load()
+		sendRecvBurst(t, a, b, n)
+		pkts += n
+		syscalls += b.Syscalls.Load() - sys0
+		if b.MmsgBatches.Load() > 0 {
+			if syscalls >= pkts {
+				t.Fatalf("RX used %d syscalls for %d packets despite mmsg batching", syscalls, pkts)
+			}
+			return
+		}
+	}
+	t.Fatalf("no multi-message recvmmsg batch in 20 bursts of %d (%d syscalls / %d packets)",
+		n, syscalls, pkts)
+}
+
+// TestUDPPerPacketCounters pins the fallback engine's cost model: one
+// syscall per datagram on each side, and never an mmsg batch — the
+// "before" column of the batched-syscall comparison.
+func TestUDPPerPacketCounters(t *testing.T) {
+	a, err := NewUDPPerPacket(Addr{0, 0}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewUDPPerPacket(Addr{1, 0}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.AddPeer(Addr{1, 0}, b.BoundAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	sys0 := a.Syscalls.Load()
+	rcvd := sendRecvBurst(t, a, b, n)
+	if got := a.Syscalls.Load() - sys0; got != n {
+		t.Fatalf("per-packet SendBurst of %d frames took %d syscalls, want %d", n, got, n)
+	}
+	if a.MmsgBatches.Load() != 0 || b.MmsgBatches.Load() != 0 {
+		t.Fatalf("per-packet engine reported mmsg batches: tx=%d rx=%d",
+			a.MmsgBatches.Load(), b.MmsgBatches.Load())
+	}
+	for i, data := range rcvd {
+		if want := fmt.Sprintf("burst-%02d", i); string(data) != want {
+			t.Fatalf("frame %d = %q, want %q", i, data, want)
+		}
+	}
+}
+
+// TestFaultySendBurstNoLockHold checks the lock-scope fix: a Send
+// racing a SendBurst whose downstream transport is slow must not wait
+// for the downstream call — only for the (cheap) fault lottery.
+func TestFaultySendBurstNoLockHold(t *testing.T) {
+	slow := &slowBurstTransport{entered: make(chan struct{}), release: make(chan struct{})}
+	f := NewFaulty(slow, 1, 0, 0, 0)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		f.SendBurst([]Frame{{Data: []byte("x"), Addr: Addr{1, 0}}})
+	}()
+	<-started
+	<-slow.entered // downstream SendBurst is now parked holding no Faulty lock
+	done := make(chan struct{})
+	go func() {
+		f.Send(Addr{1, 0}, []byte("y"))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Send blocked behind a slow downstream SendBurst (f.mu held across the flush)")
+	}
+	close(slow.release)
+}
+
+// slowBurstTransport parks SendBurst until released, to expose lock
+// scope in wrappers.
+type slowBurstTransport struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (s *slowBurstTransport) MTU() int                     { return 1472 }
+func (s *slowBurstTransport) LocalAddr() Addr              { return Addr{0, 0} }
+func (s *slowBurstTransport) Send(dst Addr, frame []byte)  {}
+func (s *slowBurstTransport) Recv() ([]byte, Addr, bool)   { return nil, Addr{}, false }
+func (s *slowBurstTransport) RecvBurst(frames []Frame) int { return 0 }
+func (s *slowBurstTransport) SetWake(fn func())            {}
+func (s *slowBurstTransport) Close() error                 { return nil }
+func (s *slowBurstTransport) SendBurst(frames []Frame) {
+	s.once.Do(func() { close(s.entered) })
+	<-s.release
+}

@@ -22,12 +22,16 @@ vet:
 # bench regenerates the recorded benchmark artifacts: BENCH_datapath.json
 # (the burst-datapath multicore sweep: simulated Mrps, wall seconds and
 # allocs/op per endpoint count; the pre-refactor baseline section is
-# preserved) and BENCH_udpsyscall.json (the batched-syscall UDP sweep:
+# preserved), BENCH_udpsyscall.json (the batched-syscall UDP sweep:
 # per-packet vs mmsg engines, loopback RPC krps + syscalls/op + TX
-# blast), then runs the full reduced-scale benchmark suite once.
+# blast) and BENCH_reuseport.json (the sharded-datapath sweep: per-port
+# vs SO_REUSEPORT socket layouts with per-shard counters and the
+# single-owner pool probe), then runs the full reduced-scale benchmark
+# suite once.
 bench:
 	$(GO) run ./cmd/erpc-bench -datapath BENCH_datapath.json -scale 0.25
 	$(GO) run ./cmd/erpc-bench -udpsyscall BENCH_udpsyscall.json -scale 0.5
+	$(GO) run ./cmd/erpc-bench -reuseport BENCH_reuseport.json -scale 0.5
 	$(GO) test -bench . -benchtime 1x -run XXX .
 
 bench-quick:

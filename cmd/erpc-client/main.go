@@ -26,8 +26,9 @@ func main() {
 		bind      = flag.String("bind", "127.0.0.1:31900", "UDP bind address of endpoint 0; endpoint i binds port+i")
 		node      = flag.Int("node", 100, "this client's eRPC node id (each client process needs its own; the server assigns 100, 101, ... in peer order)")
 		endpoints = flag.Int("endpoints", 1, "client dispatch endpoints")
-		server    = flag.String("server", "127.0.0.1:31850", "server UDP address of its endpoint 0")
+		server    = flag.String("server", "127.0.0.1:31850", "server UDP address of its endpoint 0 (with -shards: the server's one shared address)")
 		srvEps    = flag.Int("server-endpoints", 1, "server endpoint count (consecutive UDP ports)")
+		shards    = flag.Int("shards", 0, "the server is SO_REUSEPORT-sharded: treat it as N endpoints all behind the single -server address (overrides -server-endpoints; pair with erpc-server -shards N)")
 		sessions  = flag.Int("sessions", 0, "sessions per client endpoint (0 = one per server endpoint)")
 		n         = flag.Int("n", 100_000, "total requests to issue")
 		window    = flag.Int("window", 16, "requests in flight per client endpoint")
@@ -35,6 +36,12 @@ func main() {
 		burst     = flag.Int("burst", 0, "RX/TX burst size per event-loop iteration (0 = default 16)")
 	)
 	flag.Parse()
+	if *shards < 0 {
+		log.Fatalf("-shards must be >= 0 (got %d)", *shards)
+	}
+	if *shards > 0 {
+		*srvEps = *shards
+	}
 	if *endpoints <= 0 || *srvEps <= 0 {
 		log.Fatalf("-endpoints and -server-endpoints must be >= 1 (got %d, %d)", *endpoints, *srvEps)
 	}
@@ -59,12 +66,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	shost, sport, err := erpc.SplitHostPort(*server)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := erpc.AddPeersUDP(trs, 1, shost, sport, *srvEps); err != nil {
-		log.Fatal(err)
+	if *shards > 0 {
+		// Sharded server: every endpoint sits behind the one address;
+		// the kernel, not the port math, routes each flow to a shard.
+		// The client cannot see the server's build, so say what the
+		// mapping assumes: against a per-port fallback server (no
+		// SO_REUSEPORT) this address is only shard 0, every flow lands
+		// there, and the remaining shards idle — use -server-endpoints
+		// for such a server instead.
+		fmt.Printf("sharded server: %d endpoints behind %s (requires erpc-server -shards %d on a SO_REUSEPORT build)\n",
+			*srvEps, *server, *srvEps)
+		if err := erpc.AddPeersShared(trs, 1, *server, *srvEps); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		shost, sport, err := erpc.SplitHostPort(*server)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := erpc.AddPeersUDP(trs, 1, shost, sport, *srvEps); err != nil {
+			log.Fatal(err)
+		}
 	}
 	serverAddrs := make([]erpc.Addr, *srvEps)
 	for i := range serverAddrs {
@@ -161,6 +183,12 @@ func main() {
 		fmt.Printf("overall latency µs: %s\n", all.Summary())
 	}
 	fmt.Printf("retransmits: %d\n", st.Retransmits)
+	for _, tr := range trs {
+		tr.Close() // joins the reader: the per-endpoint counters below are final
+	}
+	for _, line := range erpc.UDPShardStats(trs) {
+		fmt.Printf("  %s\n", line)
+	}
 	engine, syscalls, batches := erpc.UDPSyscallStats(trs)
 	fmt.Printf("udp engine %s: %d data syscalls (%.2f/rpc), %d mmsg batches\n",
 		engine, syscalls, float64(syscalls)/float64(max(total, 1)), batches)

@@ -14,6 +14,12 @@
 // endpoints (default 1) at consecutive UDP ports; clients are assigned
 // eRPC node ids 100, 101, ...
 //
+// With -shards N the N endpoints instead share the single -bind
+// address via SO_REUSEPORT (the sharded datapath): the kernel's flow
+// hash pins each client flow to one shard, and clients point every
+// session at the one address (erpc-client -shards N). At exit the
+// per-shard counters show how the kernel spread the flows.
+//
 // Request types: 1 = GET (key → value), 2 = PUT (EncodePut(key,value)
 // → 1-byte status), 3 = echo.
 package main
@@ -29,16 +35,24 @@ import (
 
 	"repro/erpc"
 	"repro/internal/kv"
+	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		bind      = flag.String("bind", "127.0.0.1:31850", "UDP bind address of endpoint 0; endpoint i binds port+i")
+		bind      = flag.String("bind", "127.0.0.1:31850", "UDP bind address of endpoint 0; endpoint i binds port+i (with -shards: the one shared address)")
 		endpoints = flag.Int("endpoints", 1, "dispatch endpoints (one UDP socket + goroutine each)")
+		shards    = flag.Int("shards", 0, "serve N endpoints as SO_REUSEPORT shards of the single -bind address (overrides -endpoints; kernel flow hash picks the shard per client flow; falls back to N consecutive ports where SO_REUSEPORT is unavailable)")
 		workers   = flag.Int("workers", 0, "shared worker pool size for long-running handlers (0 = GOMAXPROCS)")
 		burst     = flag.Int("burst", 0, "RX/TX burst size per event-loop iteration (0 = default 16)")
 	)
 	flag.Parse()
+	if *shards < 0 {
+		log.Fatalf("-shards must be >= 0 (got %d)", *shards)
+	}
+	if *shards > 0 {
+		*endpoints = *shards
+	}
 	if *endpoints <= 0 {
 		log.Fatalf("-endpoints must be >= 1 (got %d)", *endpoints)
 	}
@@ -68,13 +82,27 @@ func main() {
 		ctx.EnqueueResponse()
 	}})
 
-	host, basePort, err := erpc.SplitHostPort(*bind)
-	if err != nil {
-		log.Fatal(err)
-	}
-	trs, err := erpc.ListenUDP(1, host, basePort, *endpoints)
-	if err != nil {
-		log.Fatal(err)
+	var trs []*transport.UDP
+	if *shards > 0 {
+		var err error
+		trs, err = erpc.ListenUDPShards(1, *bind, *shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "SO_REUSEPORT shards of one address"
+		if !erpc.UDPReusePortSupported {
+			mode = "per-port shard fallback (no SO_REUSEPORT on this build)"
+		}
+		fmt.Printf("sharded: %d %s\n", *shards, mode)
+	} else {
+		host, basePort, err := erpc.SplitHostPort(*bind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trs, err = erpc.ListenUDP(1, host, basePort, *endpoints)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	for i, tr := range trs {
 		defer tr.Close()
@@ -109,8 +137,11 @@ func main() {
 	st := server.Stats()
 	fmt.Printf("served %d handlers across %d endpoints, store holds %d keys\n",
 		st.HandlersRun, server.NumEndpoints(), store.Len())
-	for i := 0; i < server.NumEndpoints(); i++ {
-		fmt.Printf("  endpoint 1:%d handled %d\n", i, server.Rpc(i).Stats.HandlersRun)
+	for _, tr := range trs {
+		tr.Close() // joins the reader: the per-shard counters below are final
+	}
+	for i, line := range erpc.UDPShardStats(trs) {
+		fmt.Printf("  %s, handled %d\n", line, server.Rpc(i).Stats.HandlersRun)
 	}
 	engine, syscalls, batches := erpc.UDPSyscallStats(trs)
 	fmt.Printf("udp engine %s: %d data syscalls, %d mmsg batches\n", engine, syscalls, batches)

@@ -85,8 +85,12 @@ type (
 	// the buffer-ownership rules of the burst datapath).
 	Frame = transport.Frame
 	// Pool recycles packet buffers for custom Transport
-	// implementations' burst datapaths.
+	// implementations' burst datapaths. It is single-owner: Get/Put
+	// are the owning goroutine's lock-free fast path, PutShared the
+	// mutex-guarded slow path for cross-goroutine returns.
 	Pool = transport.Pool
+	// PoolStats snapshots a Pool's recycle counters.
+	PoolStats = transport.PoolStats
 	// Clock supplies timestamps (virtual or wall).
 	Clock = sim.Clock
 	// Time is a nanosecond timestamp/duration on the Clock.
@@ -198,6 +202,28 @@ func ListenUDPPerPacket(node uint16, host string, basePort, n int) ([]*transport
 	return listenUDP(node, host, basePort, n, transport.NewUDPPerPacket)
 }
 
+// ListenUDPShards binds n SO_REUSEPORT shard sockets, all on one UDP
+// address, for the endpoints (node, 0..n-1) of a sharded server
+// process: the kernel hashes each client flow to one shard, and that
+// shard's dispatch goroutine owns the flow's RX ring, wire-buffer pool
+// and syscall-engine state exclusively (paper §4.1's
+// one-queue-pair-per-thread discipline). Where SO_REUSEPORT is
+// unavailable (see UDPReusePortSupported) the shards fall back to n
+// distinct consecutive ports — the ListenUDP layout — so callers that
+// wire peers from the shards' BoundAddr work identically in both
+// modes. Sharding is for server (receive-side) processes; client
+// endpoints keep distinct ports so responses reach the endpoint that
+// issued the requests.
+func ListenUDPShards(node uint16, bind string, n int) ([]*transport.UDP, error) {
+	return transport.ListenUDPShards(node, bind, n)
+}
+
+// UDPReusePortSupported reports whether ListenUDPShards binds its
+// shards to one shared UDP address via SO_REUSEPORT on this platform
+// (Linux amd64/arm64 without the `nommsg` build tag), or falls back to
+// distinct per-shard ports.
+const UDPReusePortSupported = transport.ReusePortSupported
+
 func listenUDP(node uint16, host string, basePort, n int,
 	newUDP func(Addr, string) (*transport.UDP, error)) ([]*transport.UDP, error) {
 	var trs []*transport.UDP
@@ -279,6 +305,35 @@ func AddPeersUDP(locals []*transport.UDP, remoteNode uint16, host string, basePo
 	return nil
 }
 
+// AddPeersShared maps the n endpoints (remoteNode, 0..n-1) of a remote
+// SO_REUSEPORT-sharded process — all listening behind the single UDP
+// address udpAddr — onto every local transport. The kernel, not the
+// mapping, picks the shard that serves each local flow. Use only when
+// the remote really shares one port (see UDPReusePortSupported on its
+// build); a fallback per-port remote needs AddPeersUDP.
+func AddPeersShared(locals []*transport.UDP, remoteNode uint16, udpAddr string, n int) error {
+	for i := 0; i < n; i++ {
+		if err := AddPeerAll(locals, Addr{Node: remoteNode, Port: uint16(i)}, udpAddr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddPeersFrom maps every remote transport's endpoint address to its
+// actual bound socket on every local transport — the in-process wiring
+// helper that works for ListenUDP and ListenUDPShards layouts alike
+// (sharded remotes resolve every endpoint to the one shared address;
+// per-port remotes to their own ports).
+func AddPeersFrom(locals, remotes []*transport.UDP) error {
+	for _, rt := range remotes {
+		if err := AddPeerAll(locals, rt.LocalAddr(), rt.BoundAddr().String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // UDPSyscallStats sums the syscall counters over a process's UDP
 // transports: the engine name ("mixed" if the transports disagree,
 // "none" for an empty set), total data-plane kernel crossings, and
@@ -297,6 +352,25 @@ func UDPSyscallStats(trs []*transport.UDP) (engine string, syscalls, batches uin
 		batches += tr.MmsgBatches.Load()
 	}
 	return engine, syscalls, batches
+}
+
+// UDPShardStats formats one exit-report line per transport — its
+// endpoint, socket, syscall engine, kernel-crossing counters and
+// RX-pool recycle counters. It is what erpc-server/erpc-client print
+// at exit so sharding skew (and any steady-state pool allocation) is
+// visible in the field; the lines label plain per-port endpoints and
+// reuseport shards alike (the socket address tells them apart). Close
+// the transports first for exact counts.
+func UDPShardStats(trs []*transport.UDP) []string {
+	lines := make([]string, len(trs))
+	for i, tr := range trs {
+		ps := tr.RxPoolStats()
+		lines[i] = fmt.Sprintf("endpoint %v on %s (%s): %d syscalls, %d mmsg batches, rx pool: %d allocs, %d fast + %d shared recycles, %d refills",
+			tr.LocalAddr(), tr.BoundAddr(), tr.Engine(),
+			tr.Syscalls.Load(), tr.MmsgBatches.Load(),
+			ps.News, ps.FastPuts, ps.SharedPuts, ps.Refills)
+	}
+	return lines
 }
 
 // NewFaultyTransport wraps t with send-side fault injection (drops,

@@ -407,9 +407,21 @@ func (r *Rpc) EnqueueRequest(s *Session, reqType uint8, req, resp *msgbuf.Buf, c
 		return
 	}
 	r.Stats.ReqsEnqueued++
+	if len(s.backlog) > 0 {
+		// Older requests are already queued: join the tail even if a
+		// slot is momentarily free (a continuation runs between a
+		// slot's reset and its popBacklog; letting its EnqueueRequest
+		// steal the slot starved the backlog head for the life of the
+		// workload — the window ≥ NumSlots cliff). Checked before the
+		// slot scan: while a backlog exists the scan's answer is
+		// unusable anyway.
+		s.backlog = append(s.backlog, pendingReq{reqType: reqType, req: req, resp: resp, cont: cont})
+		return
+	}
 	idx := r.freeSlot(s)
 	if idx < 0 {
-		// All slots busy: queue transparently (§4.3).
+		// All slots busy: queue transparently (§4.3);
+		// completeSlot/failSlot pop the head into every freed slot.
 		s.backlog = append(s.backlog, pendingReq{reqType: reqType, req: req, resp: resp, cont: cont})
 		return
 	}
@@ -687,18 +699,20 @@ func (r *Rpc) runOnce() {
 }
 
 // pollRX pulls one burst of up to BurstSize frames from the transport
-// and processes each packet, re-posting its buffer to the transport's
-// pool afterwards (the paper's RX descriptor re-post). A full burst
-// sets rxFull so the loop runs again immediately: packet arrivals only
-// wake an empty queue.
+// and processes each packet, then re-posts the whole burst's buffers
+// to the transport's pool with one ReleaseBurst (the paper's RX
+// descriptor re-post, amortized like its one-doorbell-per-burst TX:
+// cross-goroutine pools are locked once per burst, not per frame). A
+// full burst sets rxFull so the loop runs again immediately: packet
+// arrivals only wake an empty queue.
 func (r *Rpc) pollRX() {
 	n := r.tr.RecvBurst(r.rxFrames)
 	r.rxFull = n == len(r.rxFrames)
 	for i := 0; i < n; i++ {
 		f := &r.rxFrames[i]
 		r.processPkt(f.Data, f.Addr)
-		f.Release()
 	}
+	transport.ReleaseBurst(r.rxFrames[:n])
 }
 
 // drainWorkers completes handler executions returned by worker

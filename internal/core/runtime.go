@@ -104,10 +104,11 @@ func (p *WorkerPool) Close() {
 // discrete-event scheduler owns every endpoint and Start/Stop are
 // no-ops.
 type endpointGroup struct {
-	rpcs []*Rpc
-	sim  bool
-	stop chan struct{}
-	wg   sync.WaitGroup
+	rpcs     []*Rpc
+	sim      bool
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 func (g *endpointGroup) init(nexus *Nexus, cfgs []Config, pool *WorkerPool) {
@@ -165,11 +166,12 @@ func (g *endpointGroup) Start() {
 }
 
 // stopLoops halts the dispatch goroutines and waits for them to exit.
+// Idempotent: deferred cleanup Stops may overlap explicit ones.
 func (g *endpointGroup) stopLoops() {
 	if g.sim {
 		return
 	}
-	close(g.stop)
+	g.stopOnce.Do(func() { close(g.stop) })
 	g.wg.Wait()
 }
 

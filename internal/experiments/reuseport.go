@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/msgbuf"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// The reuseport benchmark measures the sharded per-endpoint datapath:
+// the same multi-endpoint echo workload over UDP loopback run with the
+// per-port socket layout (each server endpoint on its own port — the
+// "before") and with SO_REUSEPORT shards (every endpoint bound to one
+// shared address, the kernel's 4-tuple hash pinning each client flow
+// to one shard — the "after", the socket-world analogue of NIC RSS
+// spreading flows across exclusively-owned queue pairs, paper §4.1).
+// Both layouts run on the lock-free per-endpoint pools, so the sweep
+// isolates the socket-sharding axis; the per-shard syscall, batch and
+// handler counters expose kernel placement skew, which is the price of
+// letting the flow hash (rather than the application) choose shards.
+// cmd/erpc-bench -reuseport records the sweep in BENCH_reuseport.json.
+
+// ReusePortSupported mirrors transport.ReusePortSupported for the
+// bench harness: whether the "after" layout exists in this binary.
+const ReusePortSupported = transport.ReusePortSupported
+
+// ReusePortEndpoints is the endpoint-count sweep.
+var ReusePortEndpoints = []int{1, 2, 4, 8}
+
+// reusePortClientsPer is how many client endpoints (sockets, flows)
+// load each server endpoint. SO_REUSEPORT places whole flows, so a
+// shard count close to the flow count leaves shards idle by the
+// birthday bound; two flows per shard keeps the kernel's indirection
+// reasonably filled, like a real many-client deployment.
+const reusePortClientsPer = 2
+
+// ReusePortResult is one sweep point: E server endpoints loaded by E
+// client endpoints over loopback, on one socket layout.
+type ReusePortResult struct {
+	Mode        string  `json:"mode"` // "per-port" or "reuseport"
+	Endpoints   int     `json:"endpoints"`
+	Krps        float64 `json:"krps"`
+	WallSec     float64 `json:"wall_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Completed   uint64  `json:"completed"`
+	// Per-shard counters, in server-endpoint order: kernel crossings,
+	// multi-message batches, handlers run (the placement skew), and
+	// RX-pool buffer allocations (steady state: primed, then flat).
+	// They cover the whole run *including warm-up* — they show flow
+	// placement and pool behavior, not a ledger against Completed
+	// (which counts the measured phase only, so sum(ShardHandled) =
+	// Completed + the warm-up quota).
+	ShardSyscalls    []uint64 `json:"shard_syscalls"`
+	ShardMmsgBatches []uint64 `json:"shard_mmsg_batches"`
+	ShardHandled     []uint64 `json:"shard_handled"`
+	ShardPoolNews    []uint64 `json:"shard_pool_news"`
+	// BestOf is how many runs this row is the best of (loopback RPC
+	// wall time is scheduler-bound and bimodal on small hosts, like
+	// the udpsyscall sweep); 0 for a single run.
+	BestOf int `json:"best_of,omitempty"`
+}
+
+// ReusePortMeasure runs one sweep point: eps server endpoints on the
+// chosen socket layout, each loaded by its own client endpoint with a
+// window of concurrent 32-byte echo RPCs, everything on the real
+// multi-endpoint runtime (one dispatch goroutine per endpoint).
+func ReusePortMeasure(sharded bool, eps int, opts Options) ReusePortResult {
+	opts = opts.norm()
+	var (
+		srvTrs []*transport.UDP
+		err    error
+	)
+	if sharded {
+		srvTrs, err = transport.ListenUDPShards(1, "127.0.0.1:0", eps)
+		if err != nil {
+			panic(err)
+		}
+	} else {
+		for i := 0; i < eps; i++ {
+			tr, err := transport.NewUDP(transport.Addr{Node: 1, Port: uint16(i)}, "127.0.0.1:0")
+			if err != nil {
+				panic(err)
+			}
+			srvTrs = append(srvTrs, tr)
+		}
+	}
+	nClients := reusePortClientsPer * eps
+	cliTrs := make([]*transport.UDP, nClients)
+	for i := range cliTrs {
+		tr, err := transport.NewUDP(transport.Addr{Node: 2, Port: uint16(i)}, "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		cliTrs[i] = tr
+	}
+	defer func() {
+		for _, tr := range srvTrs {
+			tr.Close()
+		}
+		for _, tr := range cliTrs {
+			tr.Close()
+		}
+	}()
+	for _, ct := range cliTrs {
+		for _, st := range srvTrs {
+			if err := ct.AddPeer(st.LocalAddr(), st.BoundAddr().String()); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for _, st := range srvTrs {
+		for _, ct := range cliTrs {
+			if err := st.AddPeer(ct.LocalAddr(), ct.BoundAddr().String()); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	nx := EchoNexus(32)
+	srvCfgs := make([]core.Config, eps)
+	for i, tr := range srvTrs {
+		srvCfgs[i] = core.Config{Transport: tr, Clock: sim.NewWallClock()}
+	}
+	cliCfgs := make([]core.Config, nClients)
+	for i, tr := range cliTrs {
+		cliCfgs[i] = core.Config{Transport: tr, Clock: sim.NewWallClock()}
+	}
+	server := core.NewServer(nx, srvCfgs, 1)
+	client := core.NewClient(nx, cliCfgs)
+	sess := make([]*core.Session, nClients)
+	for i := range sess {
+		s, err := client.CreateSession(i, server.Addrs())
+		if err != nil {
+			panic(err)
+		}
+		sess[i] = s
+	}
+	server.Start()
+	client.Start()
+
+	const reqSize = 32
+	const window = core.DefaultNumSlots // backlog cliff fixed: full slot usage
+	total := int(20_000 * opts.Scale)
+	if total < 1_000 {
+		total = 1_000
+	}
+	warm := 500
+	if warm > total/4 {
+		warm = total / 4
+	}
+
+	// Each client endpoint issues its quota with `window` in flight,
+	// re-issuing from its own dispatch goroutine.
+	runN := func(n int) {
+		done := make(chan struct{}, nClients)
+		for i := 0; i < nClients; i++ {
+			i := i
+			quota := n / nClients
+			if i < n%nClients {
+				quota++
+			}
+			if quota == 0 {
+				done <- struct{}{}
+				continue
+			}
+			r := client.Rpc(i)
+			s := sess[i]
+			r.Post(func() {
+				issued, completed := 0, 0
+				reqs := make([]*msgbuf.Buf, window)
+				resps := make([]*msgbuf.Buf, window)
+				for k := range reqs {
+					reqs[k], resps[k] = r.Alloc(reqSize), r.Alloc(reqSize)
+				}
+				var issue func(slot int)
+				issue = func(slot int) {
+					if issued >= quota {
+						return
+					}
+					issued++
+					r.EnqueueRequest(s, 1, reqs[slot], resps[slot], func(err error) {
+						if err != nil {
+							panic(err)
+						}
+						if completed++; completed == quota {
+							done <- struct{}{}
+							return
+						}
+						issue(slot)
+					})
+				}
+				for k := 0; k < window && k < quota; k++ {
+					issue(k)
+				}
+			})
+		}
+		for i := 0; i < nClients; i++ {
+			<-done
+		}
+	}
+
+	runN(warm)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	runN(total - warm)
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+
+	client.Stop()
+	server.Stop()
+
+	mode := "per-port"
+	if sharded && ReusePortSupported {
+		mode = "reuseport"
+	}
+	measured := uint64(total - warm)
+	res := ReusePortResult{
+		Mode:      mode,
+		Endpoints: eps,
+		WallSec:   wall.Seconds(),
+		Completed: measured,
+	}
+	if wall > 0 {
+		res.Krps = float64(measured) / wall.Seconds() / 1e3
+	}
+	if measured > 0 {
+		res.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(measured)
+	}
+	for i, tr := range srvTrs {
+		tr.Close() // joins the reader: counters are final
+		res.ShardSyscalls = append(res.ShardSyscalls, tr.Syscalls.Load())
+		res.ShardMmsgBatches = append(res.ShardMmsgBatches, tr.MmsgBatches.Load())
+		res.ShardHandled = append(res.ShardHandled, server.Rpc(i).Stats.HandlersRun)
+		res.ShardPoolNews = append(res.ShardPoolNews, tr.RxPoolStats().News)
+	}
+	return res
+}
+
+// ReusePortSweep runs the full before/after sweep: the per-port layout
+// across every endpoint count, then the SO_REUSEPORT sharded layout
+// (when supported; sharded is nil otherwise). Each point is measured
+// several times and the best run kept — loopback RPC wall time on
+// small hosts is scheduler-bound and bimodal (see the udpsyscall
+// sweep) — while the per-shard counters of the kept run show the
+// kernel's flow placement. Rows print as they are measured.
+// shards > 0 restricts the sweep to that single endpoint count (the
+// -shards knob of cmd/erpc-bench).
+func ReusePortSweep(opts Options, shards int, printf func(format string, a ...any)) (perPort, sharded []ReusePortResult) {
+	if printf == nil {
+		printf = func(string, ...any) {}
+	}
+	points := ReusePortEndpoints
+	if shards > 0 {
+		points = []int{shards}
+	}
+	const reps = 5
+	row := func(shard bool, eps int) ReusePortResult {
+		best := ReusePortMeasure(shard, eps, opts)
+		for i := 1; i < reps; i++ {
+			if m := ReusePortMeasure(shard, eps, opts); m.Krps > best.Krps {
+				best = m
+			}
+		}
+		active := 0
+		for _, h := range best.ShardHandled {
+			if h > 0 {
+				active++
+			}
+		}
+		printf("mode=%-9s endpoints=%-2d  %8.1f krps  %5.1f allocs/op  %d/%d shards active (best of %d)\n",
+			best.Mode, best.Endpoints, best.Krps, best.AllocsPerOp, active, eps, reps)
+		best.BestOf = reps
+		return best
+	}
+	for _, eps := range points {
+		perPort = append(perPort, row(false, eps))
+	}
+	if !ReusePortSupported {
+		return perPort, nil
+	}
+	for _, eps := range points {
+		sharded = append(sharded, row(true, eps))
+	}
+	return perPort, sharded
+}
+
+// PoolFastPathResult is the single-owner pool probe recorded alongside
+// the sweep: the lock-free per-endpoint fast path must cost zero heap
+// allocations and zero mutex acquisitions per Get/Put cycle.
+type PoolFastPathResult struct {
+	Ops          uint64  `json:"ops"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	MutexRefills uint64  `json:"mutex_refills"`
+	SharedPuts   uint64  `json:"shared_puts"`
+}
+
+// PoolFastPathMeasure runs the single-owner Get/Put cycle and reports
+// its allocation and mutex cost (cf. BenchmarkPoolGetPut, which pins
+// the same numbers in the test suite).
+func PoolFastPathMeasure() PoolFastPathResult {
+	p := transport.NewPool(1500, 64)
+	p.Put(p.Get()) // warm
+	const ops = 1_000_000
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < ops; i++ {
+		b := p.Get()
+		p.Put(b)
+	}
+	runtime.ReadMemStats(&after)
+	st := p.Stats()
+	return PoolFastPathResult{
+		Ops:          ops,
+		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(ops),
+		MutexRefills: st.Refills,
+		SharedPuts:   st.SharedPuts,
+	}
+}

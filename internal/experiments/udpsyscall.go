@@ -27,10 +27,12 @@ const UDPMmsgSupported = transport.MmsgSupported
 // UDPSyscallWindows is the in-flight-request sweep: window 1 is the
 // latency-bound ping-pong where bursts degenerate to single frames;
 // deeper windows fill real multi-frame bursts, which is where batched
-// syscalls pay off. The sweep stays strictly below the per-session
-// slot limit (core.DefaultNumSlots = 8): at or beyond it, requests
-// queue behind busy slots and the workload measures the backlog path,
-// not the datapath.
+// syscalls pay off. The sweep stays below the per-session slot limit
+// (core.DefaultNumSlots = 8) so every request occupies a slot
+// immediately and the workload measures the datapath alone. (Windows
+// at or beyond the limit are safe since the backlog-starvation fix —
+// excess requests queue FIFO behind the slots — and the reuseport
+// sweep uses the full window 8.)
 var UDPSyscallWindows = []int{1, 2, 4}
 
 // UDPSyscallResult is one sweep point: a windowed echo workload over

@@ -1,6 +1,9 @@
 package transport
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // This file defines the burst datapath: the Frame unit moved by
 // SendBurst/RecvBurst and the recycling buffer Pool that backs RX
@@ -40,27 +43,93 @@ type Frame struct {
 	// out Data past the header but must recycle the whole buffer).
 	// Release re-posts base instead of Data when set.
 	base []byte
+	// shared marks a frame whose Release runs on a different goroutine
+	// than the pool's owner (e.g. a UDP RX frame released by the
+	// dispatch goroutine while the reader goroutine owns the pool).
+	// Release then takes the pool's mutex-guarded slow path; use
+	// ReleaseBurst to amortize that lock over a whole burst.
+	shared bool
 }
 
 // PooledFrame binds a buffer to the pool it returns to on Release.
-// Transports use it when filling RX frames.
+// Transports whose RX frames are released on the pool-owning goroutine
+// (single-dispatch-context transports like simnet) use it when filling
+// RX frames; Release then stays on the lock-free owner path.
 func PooledFrame(data []byte, from Addr, p *Pool) Frame {
 	return Frame{Data: data, Addr: from, pool: p}
 }
 
-// Release returns the frame's buffer to its pool. Safe to call on a
+// SharedFrame is PooledFrame for transports whose RX frames are
+// released on a goroutine other than the pool's owner: Release (and
+// ReleaseBurst) route the buffer through the pool's mutex-guarded
+// shared slow path instead of the owner free list.
+func SharedFrame(data []byte, from Addr, p *Pool) Frame {
+	return Frame{Data: data, Addr: from, pool: p, shared: true}
+}
+
+// Release returns the frame's buffer to its pool — the owner fast path
+// for frames released on the pool-owning goroutine, the shared slow
+// path for cross-goroutine frames (see SharedFrame). Safe to call on a
 // zero or already-released frame.
 func (f *Frame) Release() {
 	if f.pool != nil {
-		if f.base != nil {
-			f.pool.Put(f.base)
+		buf := f.base
+		if buf == nil {
+			buf = f.Data
+		}
+		if f.shared {
+			f.pool.PutShared(buf)
 		} else {
-			f.pool.Put(f.Data)
+			f.pool.Put(buf)
 		}
 		f.pool = nil
 	}
 	f.Data = nil
 	f.base = nil
+	f.shared = false
+}
+
+// ReleaseBurst releases every frame of a burst, coalescing consecutive
+// shared-release frames of the same pool into one lock acquisition —
+// so a dispatch goroutine re-posting a full RX burst to its shard's
+// reader-owned pool pays one mutex operation per burst, not per frame
+// (the cross-core analogue of the paper's one-doorbell-per-burst
+// discipline). Owner-path frames are released lock-free as usual.
+func ReleaseBurst(frames []Frame) {
+	for i := 0; i < len(frames); {
+		f := &frames[i]
+		if f.pool == nil || !f.shared {
+			f.Release()
+			i++
+			continue
+		}
+		// Coalesce the run of shared frames bound for the same pool.
+		p := f.pool
+		j := i
+		for j < len(frames) && frames[j].pool == p && frames[j].shared {
+			j++
+		}
+		p.putSharedBatch(frames[i:j])
+		i = j
+	}
+}
+
+// PoolStats is a snapshot of a Pool's recycle counters (see
+// Pool.Stats).
+type PoolStats struct {
+	// News counts buffers created because both free lists were empty;
+	// a steady-state datapath stops adding to it after warm-up.
+	News uint64
+	// FastPuts counts lock-free owner-path recycles (Put) that were
+	// retained; buffers dropped at the free-list limit don't count.
+	FastPuts uint64
+	// SharedPuts counts cross-goroutine recycles through the
+	// mutex-guarded slow path (PutShared / ReleaseBurst) that were
+	// retained, in buffers.
+	SharedPuts uint64
+	// Refills counts owner Gets that ran dry and swapped in the shared
+	// list under the mutex — the owner side's only lock acquisitions.
+	Refills uint64
 }
 
 // Pool is a recycling pool of packet buffers, the software stand-in
@@ -68,23 +137,38 @@ func (f *Frame) Release() {
 // slice with at least BufCap capacity; Put recycles one. In steady
 // state a datapath running on a Pool performs no heap allocation.
 //
-// Pool is safe for concurrent use: a real transport's reader goroutine
-// Gets while the dispatch goroutine Puts (Releases).
+// # Ownership
+//
+// A Pool has one owner: the goroutine (or single dispatch context)
+// that calls Get and Put. The owner path is a plain free list touched
+// without any lock — per-endpoint pools on this path share no mutable
+// cache line with any other core, the paper's per-thread hugepage
+// allocator discipline (§4.3). Every other goroutine returns buffers
+// through PutShared (or ReleaseBurst, which batches a burst of returns
+// into one lock acquisition); the owner migrates the shared list back
+// to its free list in one locked swap when it runs dry. The mutex is
+// therefore touched once per refill/burst, never per steady-state
+// Get/Put.
 type Pool struct {
-	mu     sync.Mutex
-	free   [][]byte
 	bufCap int
 	limit  int
 
-	// News counts buffers created because the pool was empty (the
-	// steady-state datapath should stop adding to it).
-	News uint64
+	// Owner state: only the owning goroutine touches these.
+	free     [][]byte
+	fastPuts atomic.Uint64
+	refills  atomic.Uint64
+	news     atomic.Uint64
+
+	// Shared slow path: cross-goroutine returns, under mu.
+	mu         sync.Mutex
+	shared     [][]byte
+	sharedPuts atomic.Uint64
 }
 
 // NewPool returns a pool of buffers with the given capacity (typically
 // the transport MTU, plus any transport-internal headroom). limit
-// bounds the number of retained free buffers; <= 0 means a default
-// sized like a large NIC ring.
+// bounds the number of free buffers retained on each of the two lists;
+// <= 0 means a default sized like a large NIC ring.
 func NewPool(bufCap, limit int) *Pool {
 	if bufCap <= 0 {
 		panic("transport: Pool bufCap must be positive")
@@ -98,31 +182,122 @@ func NewPool(bufCap, limit int) *Pool {
 // BufCap reports the capacity of the pool's buffers.
 func (p *Pool) BufCap() int { return p.bufCap }
 
-// Get returns a zero-length buffer with capacity BufCap.
-func (p *Pool) Get() []byte {
-	p.mu.Lock()
-	if n := len(p.free); n > 0 {
-		b := p.free[n-1]
-		p.free[n-1] = nil
-		p.free = p.free[:n-1]
-		p.mu.Unlock()
-		return b[:0]
+// News reports how many buffers were created because the pool ran dry
+// (the steady-state datapath should stop adding to it).
+func (p *Pool) News() uint64 { return p.news.Load() }
+
+// Stats returns a snapshot of the pool's recycle counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		News:       p.news.Load(),
+		FastPuts:   p.fastPuts.Load(),
+		SharedPuts: p.sharedPuts.Load(),
+		Refills:    p.refills.Load(),
 	}
-	p.News++
-	p.mu.Unlock()
+}
+
+// popLast removes and returns the last buffer of a free list, clearing
+// the vacated slot so the list doesn't pin released buffers.
+func popLast(list *[][]byte) []byte {
+	n := len(*list)
+	b := (*list)[n-1]
+	(*list)[n-1] = nil
+	*list = (*list)[:n-1]
+	return b[:0]
+}
+
+// Get returns a zero-length buffer with capacity BufCap. Owner only.
+// The fast path (free list non-empty) is lock-free; a dry free list
+// swaps in the shared list under one lock before allocating.
+func (p *Pool) Get() []byte {
+	if len(p.free) > 0 {
+		return popLast(&p.free)
+	}
+	if p.refill() {
+		return popLast(&p.free)
+	}
+	p.news.Add(1)
 	return make([]byte, 0, p.bufCap)
 }
 
-// Put recycles a buffer obtained from Get. Foreign or undersized
+// refill swaps the (empty) owner free list with the shared list under
+// the mutex, reporting whether any buffers came back. Owner only.
+func (p *Pool) refill() bool {
+	p.mu.Lock()
+	if len(p.shared) == 0 {
+		p.mu.Unlock()
+		return false
+	}
+	p.free, p.shared = p.shared, p.free[:0]
+	p.mu.Unlock()
+	p.refills.Add(1)
+	return true
+}
+
+// Put recycles a buffer obtained from Get. Owner only: the buffer goes
+// back on the owner free list without any lock. Foreign or undersized
 // buffers are rejected (dropped to the GC) rather than poisoning the
 // pool.
 func (p *Pool) Put(b []byte) {
 	if cap(b) < p.bufCap {
 		return
 	}
-	p.mu.Lock()
 	if len(p.free) < p.limit {
+		p.fastPuts.Add(1)
 		p.free = append(p.free, b[:0])
+	}
+}
+
+// PutShared recycles a buffer from a goroutine other than the pool's
+// owner: the mutex-guarded slow path. The owner reclaims the shared
+// list in one swap the next time its free list runs dry.
+func (p *Pool) PutShared(b []byte) {
+	if cap(b) < p.bufCap {
+		return
+	}
+	p.mu.Lock()
+	if len(p.shared) < p.limit {
+		p.sharedPuts.Add(1)
+		p.shared = append(p.shared, b[:0])
+	}
+	p.mu.Unlock()
+}
+
+// GetShared takes a buffer from the shared list (or allocates) without
+// touching the owner free list, for goroutines other than the pool's
+// owner. It is a cold-path helper (tests, out-of-band injection); the
+// datapath proper Gets only on the owner.
+func (p *Pool) GetShared() []byte {
+	p.mu.Lock()
+	if len(p.shared) > 0 {
+		b := popLast(&p.shared)
+		p.mu.Unlock()
+		return b
+	}
+	p.mu.Unlock()
+	p.news.Add(1)
+	return make([]byte, 0, p.bufCap)
+}
+
+// putSharedBatch appends a burst of shared-release frames' buffers
+// under one lock acquisition (see ReleaseBurst). The frames are
+// cleared as released.
+func (p *Pool) putSharedBatch(frames []Frame) {
+	p.mu.Lock()
+	for i := range frames {
+		f := &frames[i]
+		buf := f.base
+		if buf == nil {
+			buf = f.Data
+		}
+		if cap(buf) >= p.bufCap && len(p.shared) < p.limit {
+			p.sharedPuts.Add(1)
+			p.shared = append(p.shared, buf[:0])
+		}
+		f.Data = nil
+		f.base = nil
+		f.pool = nil
+		f.shared = false
 	}
 	p.mu.Unlock()
 }

@@ -12,21 +12,89 @@ import (
 func TestPoolRecycles(t *testing.T) {
 	p := NewPool(64, 4)
 	b := append(p.Get(), "hello"...)
-	if p.News != 1 {
-		t.Fatalf("News = %d after first Get", p.News)
+	if p.News() != 1 {
+		t.Fatalf("News = %d after first Get", p.News())
 	}
 	p.Put(b)
 	b2 := p.Get()
-	if p.News != 1 {
-		t.Fatalf("News = %d after recycled Get (pool did not recycle)", p.News)
+	if p.News() != 1 {
+		t.Fatalf("News = %d after recycled Get (pool did not recycle)", p.News())
 	}
 	if cap(b2) < 64 {
 		t.Fatalf("recycled cap = %d", cap(b2))
 	}
-	// Foreign (undersized) buffers must be rejected.
+	// Foreign (undersized) buffers must be rejected, on both paths.
 	p.Put(make([]byte, 8))
 	if got := p.Get(); cap(got) < 64 {
 		t.Fatalf("pool handed out a foreign undersized buffer (cap %d)", cap(got))
+	}
+	p.PutShared(make([]byte, 8))
+	if got := p.GetShared(); cap(got) < 64 {
+		t.Fatalf("shared path handed out a foreign undersized buffer (cap %d)", cap(got))
+	}
+}
+
+// TestPoolSharedHandoff checks the cross-goroutine slow path: buffers
+// returned via PutShared must come back to the owner through a refill
+// swap, without fresh allocation, and the counters must attribute the
+// traffic to the right paths.
+func TestPoolSharedHandoff(t *testing.T) {
+	p := NewPool(64, 8)
+	bufs := [][]byte{p.Get(), p.Get(), p.Get()}
+	for _, b := range bufs {
+		p.PutShared(b) // as a foreign goroutine would
+	}
+	news0 := p.News()
+	for i := 0; i < 3; i++ {
+		if b := p.Get(); cap(b) < 64 {
+			t.Fatalf("refilled Get %d returned cap %d", i, cap(b))
+		}
+	}
+	if p.News() != news0 {
+		t.Fatalf("owner Get allocated (News %d -> %d) with %d buffers on the shared list",
+			news0, p.News(), len(bufs))
+	}
+	st := p.Stats()
+	if st.SharedPuts != 3 || st.Refills != 1 || st.FastPuts != 0 {
+		t.Fatalf("stats = %+v, want 3 shared puts, 1 refill, 0 fast puts", st)
+	}
+}
+
+// TestReleaseBurstCoalesces checks that ReleaseBurst recycles a whole
+// burst of shared frames (one pool lock per run) and leaves the frames
+// cleared, mixing in owner-path and unpooled frames.
+func TestReleaseBurstCoalesces(t *testing.T) {
+	p := NewPool(32, 16)
+	frames := []Frame{
+		SharedFrame(append(p.Get(), 1), Addr{1, 0}, p),
+		SharedFrame(append(p.Get(), 2), Addr{1, 0}, p),
+		{Data: []byte("unpooled")},
+		PooledFrame(append(p.Get(), 3), Addr{1, 0}, p),
+		SharedFrame(append(p.Get(), 4), Addr{1, 0}, p),
+	}
+	ReleaseBurst(frames)
+	for i := range frames {
+		if frames[i].Data != nil || frames[i].pool != nil {
+			t.Fatalf("frame %d not cleared: %+v", i, frames[i])
+		}
+	}
+	st := p.Stats()
+	if st.SharedPuts != 3 {
+		t.Fatalf("SharedPuts = %d, want 3", st.SharedPuts)
+	}
+	if st.FastPuts != 1 {
+		t.Fatalf("FastPuts = %d, want 1", st.FastPuts)
+	}
+	// All four pooled buffers must be reachable again: one on the owner
+	// free list, three via a refill.
+	news0 := p.News()
+	for i := 0; i < 4; i++ {
+		if b := p.Get(); cap(b) < 32 {
+			t.Fatalf("Get %d after ReleaseBurst: cap %d", i, cap(b))
+		}
+	}
+	if p.News() != news0 {
+		t.Fatalf("ReleaseBurst lost buffers: News %d -> %d", news0, p.News())
 	}
 }
 
@@ -98,8 +166,8 @@ func TestUDPBurstRoundtrip(t *testing.T) {
 	// The reader keeps a posted window of RX buffers (the software RQ:
 	// up to 32 on the mmsg engine, 1 on the per-packet engine) beyond
 	// the packets actually moved; past that, the pool must recycle.
-	if b.rxPool.News > n+33 {
-		t.Fatalf("RX pool allocated %d buffers for %d packets", b.rxPool.News, n)
+	if b.rxPool.News() > n+33 {
+		t.Fatalf("RX pool allocated %d buffers for %d packets", b.rxPool.News(), n)
 	}
 }
 
@@ -129,7 +197,10 @@ func TestUDPRingBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer u.Close()
+	// Close joins the reader goroutine, making this test goroutine the
+	// rxPool's sole owner; the ring and pool outlive the socket, so the
+	// injection below still exercises the real enqueue/drain path.
+	u.Close()
 	// Sustained load, injected deterministically at the reader
 	// goroutine's ring-push point: many fill-and-drain rounds, far
 	// more packets than udpRingCap in total.
@@ -166,8 +237,8 @@ func TestUDPRingBounded(t *testing.T) {
 	if pending := u.tail - u.head; pending != 0 {
 		t.Fatalf("ring claims %d pending packets after full drain", pending)
 	}
-	if u.rxPool.News > perRound+64 {
-		t.Fatalf("RX pool created %d buffers for %d packets: not recycling", u.rxPool.News, seq)
+	if u.rxPool.News() > perRound+64 {
+		t.Fatalf("RX pool created %d buffers for %d packets: not recycling", u.rxPool.News(), seq)
 	}
 }
 
@@ -179,7 +250,7 @@ func TestUDPRingOverflowDrops(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer u.Close()
+	u.Close() // join the reader: this goroutine now owns the rxPool
 	const extra = 100
 	for i := 0; i < udpRingCap+extra; i++ {
 		b := append(u.rxPool.Get(), 1)
@@ -193,14 +264,14 @@ func TestUDPRingOverflowDrops(t *testing.T) {
 	}
 	// A dropped packet's buffer is re-posted, so draining one slot and
 	// refilling must not allocate.
-	news := u.rxPool.News
+	news := u.rxPool.News()
 	fr := make([]Frame, 1)
 	u.RecvBurst(fr)
 	fr[0].Release()
 	b := u.rxPool.Get()
 	u.enqueue(b, b, Addr{0, 0})
-	if u.rxPool.News != news {
-		t.Fatalf("overflow leaked buffers: pool News %d -> %d", news, u.rxPool.News)
+	if u.rxPool.News() != news {
+		t.Fatalf("overflow leaked buffers: pool News %d -> %d", news, u.rxPool.News())
 	}
 }
 

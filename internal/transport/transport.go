@@ -28,6 +28,14 @@
 //   - TX buffers (Send and SendBurst) are owned by the caller and may
 //     be reused as soon as the call returns; the transport copies or
 //     completes transmission synchronously.
+//
+// Pools are single-owner (see Pool): Get/Put are the owning
+// goroutine's lock-free fast path, and cross-goroutine releases go
+// through the mutex-guarded shared slow path — per frame via
+// Frame.Release on a SharedFrame, or once per burst via ReleaseBurst.
+// Sharded multi-endpoint processes (ListenUDPShards) give every
+// endpoint its own socket, RX ring and pools, so no datapath state is
+// shared across dispatch goroutines (§4.1).
 package transport
 
 import "fmt"

@@ -56,8 +56,9 @@ type UDP struct {
 	wake  func()
 	done  chan struct{}
 
-	closeOnce sync.Once
-	closeErr  error
+	readerDone chan struct{} // closed when the reader goroutine exits
+	closeOnce  sync.Once
+	closeErr   error
 
 	// RX ring: fixed storage, head/tail indices. count = tail - head;
 	// slot i lives at ring[i & udpRingMask].
@@ -159,12 +160,19 @@ func newUDP(local Addr, bind string, perPacket bool) (*UDP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %q: %w", bind, err)
 	}
+	return newUDPConn(local, conn, perPacket), nil
+}
+
+// newUDPConn wraps an already-bound socket (ListenUDPShards binds its
+// own sockets with SO_REUSEPORT set) and starts the reader goroutine.
+func newUDPConn(local Addr, conn *net.UDPConn, perPacket bool) *UDP {
 	u := &UDP{
-		conn:  conn,
-		local: local,
-		mtu:   DefaultUDPMTU,
-		peers: map[Addr]udpDest{},
-		done:  make(chan struct{}),
+		conn:       conn,
+		local:      local,
+		mtu:        DefaultUDPMTU,
+		peers:      map[Addr]udpDest{},
+		done:       make(chan struct{}),
+		readerDone: make(chan struct{}),
 		// Pool buffers hold a whole wire datagram (prefix + frame) so
 		// the engines can receive into them in place.
 		rxPool:    NewPool(udpHdrLen+DefaultUDPMTU, udpRingCap+64),
@@ -175,8 +183,87 @@ func newUDP(local Addr, bind string, perPacket bool) (*UDP, error) {
 	} else {
 		u.eng = newDefaultEngine(u)
 	}
-	go u.eng.readLoop()
-	return u, nil
+	go func() {
+		defer close(u.readerDone)
+		u.eng.readLoop()
+	}()
+	return u
+}
+
+// ListenUDPShards opens n sockets for the endpoints (node, 0..n-1) of
+// a sharded multi-endpoint process, all bound to the same UDP address
+// via SO_REUSEPORT where supported (Linux amd64/arm64, without the
+// `nommsg` tag — see ReusePortSupported): the kernel hashes each
+// remote flow's 4-tuple to one shard, so a session's frames always
+// land on the same shard's socket and shards never touch each other's
+// RX ring, wire-buffer pool, or syscall-engine state. bind may use
+// port 0; shard 0 then picks the port and the rest join it.
+//
+// On platforms without SO_REUSEPORT support the shards fall back to n
+// distinct consecutive ports (ephemeral when bind's port is 0) behind
+// the same resolver — functionally the per-port layout of ListenUDP,
+// so callers wire peers via each shard's BoundAddr either way.
+//
+// Sharding is a receive-side feature for servers: server-mode sessions
+// are created lazily on whichever shard the kernel picks, while a
+// client-mode session's responses must reach the endpoint that issued
+// the requests — give client endpoints distinct ports instead.
+func ListenUDPShards(node uint16, bind string, n int) ([]*UDP, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: ListenUDPShards needs n >= 1 (got %d)", n)
+	}
+	if !ReusePortSupported {
+		return listenShardsFallback(node, bind, n)
+	}
+	shards := make([]*UDP, 0, n)
+	addr := bind
+	for i := 0; i < n; i++ {
+		conn, err := listenReusePort(addr)
+		if err != nil {
+			for _, s := range shards {
+				s.Close()
+			}
+			return nil, err
+		}
+		if i == 0 {
+			// Pin the concrete address so the remaining shards join
+			// shard 0's port even when bind asked for port 0.
+			addr = conn.LocalAddr().String()
+		}
+		shards = append(shards, newUDPConn(Addr{Node: node, Port: uint16(i)}, conn, false))
+	}
+	return shards, nil
+}
+
+// listenShardsFallback is the portable ListenUDPShards layout: n
+// distinct ports (consecutive from bind's port, or all ephemeral when
+// it is 0), one per shard.
+func listenShardsFallback(node uint16, bind string, n int) ([]*UDP, error) {
+	host, portStr, err := net.SplitHostPort(bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: bad shard bind %q: %w", bind, err)
+	}
+	basePort, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: bad shard bind port %q: %w", bind, err)
+	}
+	shards := make([]*UDP, 0, n)
+	for i := 0; i < n; i++ {
+		port := 0
+		if basePort != 0 {
+			port = basePort + i
+		}
+		u, err := newUDP(Addr{Node: node, Port: uint16(i)},
+			net.JoinHostPort(host, strconv.Itoa(port)), false)
+		if err != nil {
+			for _, s := range shards {
+				s.Close()
+			}
+			return nil, err
+		}
+		shards = append(shards, u)
+	}
+	return shards, nil
 }
 
 // Engine reports which syscall engine this transport runs on:
@@ -314,13 +401,16 @@ func (u *UDP) enqueue(buf, data []byte, from Addr) {
 
 // RecvBurst implements Transport: the ring is drained under a single
 // lock acquisition per burst. Each frame's buffer returns to the RX
-// pool via Release.
+// pool via Release — frames are marked for the shared release path,
+// since the dispatch goroutine that drains the ring is not the reader
+// goroutine that owns the pool; releasing a whole burst through
+// ReleaseBurst costs one pool lock per burst.
 func (u *UDP) RecvBurst(frames []Frame) int {
 	u.mu.Lock()
 	n := 0
 	for n < len(frames) && u.head != u.tail {
 		p := &u.ring[u.head&udpRingMask]
-		frames[n] = Frame{Data: p.data, Addr: p.from, pool: u.rxPool, base: p.buf}
+		frames[n] = Frame{Data: p.data, Addr: p.from, pool: u.rxPool, base: p.buf, shared: true}
 		*p = udpPkt{}
 		u.head++
 		n++
@@ -345,7 +435,7 @@ func (u *UDP) Recv() ([]byte, Addr, bool) {
 	u.mu.Unlock()
 	out := make([]byte, len(p.data))
 	copy(out, p.data)
-	u.rxPool.Put(p.buf)
+	u.rxPool.PutShared(p.buf) // caller is not the pool-owning reader
 	return out, p.from, true
 }
 
@@ -358,13 +448,23 @@ func (u *UDP) SetWake(fn func()) {
 
 // Close implements Transport. It is idempotent: closing an
 // already-closed transport is a no-op returning the first result.
+// Close joins the reader goroutine before returning, so afterwards the
+// caller may read the transport's counters — including the RX pool's
+// owner-side stats — without racing it.
 func (u *UDP) Close() error {
 	u.closeOnce.Do(func() {
 		close(u.done)
 		u.closeErr = u.conn.Close()
+		<-u.readerDone
 	})
 	return u.closeErr
 }
+
+// RxPoolStats snapshots the RX wire-buffer pool's recycle counters
+// (allocations, lock-free owner recycles, cross-goroutine shared
+// recycles, refill swaps). Owner-side counters move while the reader
+// goroutine runs; for an exact snapshot call after Close.
+func (u *UDP) RxPoolStats() PoolStats { return u.rxPool.Stats() }
 
 // closed reports whether Close has been called (used by the engines'
 // read loops to tell shutdown from transient socket errors).

@@ -42,7 +42,7 @@ func TestUDPRecvRecycles(t *testing.T) {
 		a.Send(Addr{1, 0}, []byte("prime"))
 		recvWait(t, b)
 	}
-	news0 := b.rxPool.News
+	news0 := b.rxPool.News()
 	const n = 300
 	kept := make([][]byte, 0, n)
 	for i := 0; i < n; i++ {
@@ -53,7 +53,7 @@ func TestUDPRecvRecycles(t *testing.T) {
 		}
 		kept = append(kept, f)
 	}
-	if got := b.rxPool.News - news0; got != 0 {
+	if got := b.rxPool.News() - news0; got != 0 {
 		t.Fatalf("Recv leaked pooled buffers: News grew by %d over %d Recvs", got, n)
 	}
 	// Caller ownership: every returned slice is intact even though the

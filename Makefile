@@ -1,11 +1,19 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-quick fuzz fmt-check ci test-nommsg
+.PHONY: build test race vet bench bench-quick fuzz fmt-check ci test-nommsg test-nogso test-nommsg-nogso
 
 # The portable per-packet UDP engine, forced on Linux via the nommsg
 # build tag (CI runs this so the fallback cannot rot).
 test-nommsg:
 	$(GO) test -tags=nommsg ./...
+
+# The mmsg engine without segmentation offload (nogso tag), and the
+# fully portable stack (both tags) — CI runs both legs.
+test-nogso:
+	$(GO) test -tags=nogso ./...
+
+test-nommsg-nogso:
+	$(GO) test -tags=nommsg,nogso ./...
 
 build:
 	$(GO) build ./...
@@ -24,14 +32,17 @@ vet:
 # allocs/op per endpoint count; the pre-refactor baseline section is
 # preserved), BENCH_udpsyscall.json (the batched-syscall UDP sweep:
 # per-packet vs mmsg engines, loopback RPC krps + syscalls/op + TX
-# blast) and BENCH_reuseport.json (the sharded-datapath sweep: per-port
+# blast), BENCH_reuseport.json (the sharded-datapath sweep: per-port
 # vs SO_REUSEPORT socket layouts with per-shard counters and the
-# single-owner pool probe), then runs the full reduced-scale benchmark
-# suite once.
+# single-owner pool probe) and BENCH_gso.json (the segmentation-offload
+# sweep: mmsg vs UDP_SEGMENT/UDP_GRO engines, syscalls/op,
+# segments/syscall, zero-copy TX accounting), then runs the full
+# reduced-scale benchmark suite once.
 bench:
 	$(GO) run ./cmd/erpc-bench -datapath BENCH_datapath.json -scale 0.25
 	$(GO) run ./cmd/erpc-bench -udpsyscall BENCH_udpsyscall.json -scale 0.5
 	$(GO) run ./cmd/erpc-bench -reuseport BENCH_reuseport.json -scale 0.5
+	$(GO) run ./cmd/erpc-bench -gso BENCH_gso.json -scale 0.5
 	$(GO) test -bench . -benchtime 1x -run XXX .
 
 bench-quick:
@@ -49,4 +60,4 @@ fuzz:
 	$(GO) test -fuzz FuzzProcessPkt -fuzztime 30s ./internal/core/
 	$(GO) test -fuzz FuzzRxBurst -fuzztime 30s ./internal/core/
 
-ci: fmt-check build vet race test-nommsg
+ci: fmt-check build vet race test-nommsg test-nogso test-nommsg-nogso

@@ -34,6 +34,8 @@ func main() {
 		window    = flag.Int("window", 16, "requests in flight per client endpoint")
 		size      = flag.Int("size", 32, "request payload bytes")
 		burst     = flag.Int("burst", 0, "RX/TX burst size per event-loop iteration (0 = default 16)")
+		gso       = flag.Bool("gso", true, "use the segmentation-offload UDP engine (UDP_SEGMENT supersegment TX + UDP_GRO coalesced RX) where the kernel supports it; false forces plain sendmmsg/recvmmsg")
+		adapt     = flag.Bool("adaptburst", false, "adapt the TX flush threshold to observed RX burst fill (AIMD): deeper batching under load, immediate flushes when idle")
 	)
 	flag.Parse()
 	if *shards < 0 {
@@ -62,9 +64,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	trs, err := erpc.ListenUDP(uint16(*node), host, basePort, *endpoints)
+	listen := erpc.ListenUDP
+	if !*gso {
+		listen = erpc.ListenUDPMmsg
+	}
+	trs, err := listen(uint16(*node), host, basePort, *endpoints)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *gso && !erpc.UDPGsoSupported() {
+		fmt.Println("gso requested but unavailable (build tag or kernel): using the best non-gso engine")
 	}
 	if *shards > 0 {
 		// Sharded server: every endpoint sits behind the one address;
@@ -93,7 +102,7 @@ func main() {
 		serverAddrs[i] = erpc.Addr{Node: 1, Port: uint16(i)}
 	}
 
-	client := erpc.NewClient(erpc.NewNexus(), erpc.BurstConfigs(erpc.UDPConfigs(trs), *burst))
+	client := erpc.NewClient(erpc.NewNexus(), erpc.AdaptConfigs(erpc.BurstConfigs(erpc.UDPConfigs(trs), *burst), *adapt))
 	sess := make([][]*erpc.Session, *endpoints)
 	for i := 0; i < *endpoints; i++ {
 		for k := 0; k < *sessions; k++ {
@@ -190,6 +199,12 @@ func main() {
 		fmt.Printf("  %s\n", line)
 	}
 	engine, syscalls, batches := erpc.UDPSyscallStats(trs)
-	fmt.Printf("udp engine %s: %d data syscalls (%.2f/rpc), %d mmsg batches\n",
-		engine, syscalls, float64(syscalls)/float64(max(total, 1)), batches)
+	segs, gro := erpc.UDPGsoStats(trs)
+	fmt.Printf("udp engine %s: %d data syscalls (%.2f/rpc), %d mmsg batches, %d gso segments, %d gro batches\n",
+		engine, syscalls, float64(syscalls)/float64(max(total, 1)), batches, segs, gro)
+	fmt.Printf("zero-copy tx frames: %d", st.ZeroCopyTx)
+	if st.BurstAdapts > 0 {
+		fmt.Printf(", adaptive burst: %d threshold changes", st.BurstAdapts)
+	}
+	fmt.Println()
 }

@@ -45,6 +45,8 @@ func main() {
 		shards    = flag.Int("shards", 0, "serve N endpoints as SO_REUSEPORT shards of the single -bind address (overrides -endpoints; kernel flow hash picks the shard per client flow; falls back to N consecutive ports where SO_REUSEPORT is unavailable)")
 		workers   = flag.Int("workers", 0, "shared worker pool size for long-running handlers (0 = GOMAXPROCS)")
 		burst     = flag.Int("burst", 0, "RX/TX burst size per event-loop iteration (0 = default 16)")
+		gso       = flag.Bool("gso", true, "use the segmentation-offload UDP engine (UDP_SEGMENT supersegment TX + UDP_GRO coalesced RX) where the kernel supports it; false forces plain sendmmsg/recvmmsg")
+		adapt     = flag.Bool("adaptburst", false, "adapt the TX flush threshold to observed RX burst fill (AIMD): deeper batching under load, immediate flushes when idle")
 	)
 	flag.Parse()
 	if *shards < 0 {
@@ -82,10 +84,15 @@ func main() {
 		ctx.EnqueueResponse()
 	}})
 
+	// One place picks the engine for both socket layouts (-gso knob).
+	listenFlat, listenShards := erpc.ListenUDP, erpc.ListenUDPShards
+	if !*gso {
+		listenFlat, listenShards = erpc.ListenUDPMmsg, erpc.ListenUDPShardsMmsg
+	}
 	var trs []*transport.UDP
 	if *shards > 0 {
 		var err error
-		trs, err = erpc.ListenUDPShards(1, *bind, *shards)
+		trs, err = listenShards(1, *bind, *shards)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -99,10 +106,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		trs, err = erpc.ListenUDP(1, host, basePort, *endpoints)
+		trs, err = listenFlat(1, host, basePort, *endpoints)
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *gso && !erpc.UDPGsoSupported() {
+		fmt.Println("gso requested but unavailable (build tag or kernel): using the best non-gso engine")
 	}
 	for i, tr := range trs {
 		defer tr.Close()
@@ -128,7 +138,7 @@ func main() {
 		fmt.Printf("peer node %d: %d endpoint(s) at %s\n", 100+i, n, addr)
 	}
 
-	server := erpc.NewServer(nx, erpc.BurstConfigs(erpc.UDPConfigs(trs), *burst), *workers)
+	server := erpc.NewServer(nx, erpc.AdaptConfigs(erpc.BurstConfigs(erpc.UDPConfigs(trs), *burst), *adapt), *workers)
 	server.Start()
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
@@ -144,7 +154,16 @@ func main() {
 		fmt.Printf("  %s, handled %d\n", line, server.Rpc(i).Stats.HandlersRun)
 	}
 	engine, syscalls, batches := erpc.UDPSyscallStats(trs)
-	fmt.Printf("udp engine %s: %d data syscalls, %d mmsg batches\n", engine, syscalls, batches)
+	segs, gro := erpc.UDPGsoStats(trs)
+	fmt.Printf("udp engine %s: %d data syscalls, %d mmsg batches, %d gso segments, %d gro batches\n",
+		engine, syscalls, batches, segs, gro)
+	if *adapt {
+		var adapts uint64
+		for i := 0; i < server.NumEndpoints(); i++ {
+			adapts += server.Rpc(i).Stats.BurstAdapts
+		}
+		fmt.Printf("adaptive burst: %d threshold changes\n", adapts)
+	}
 }
 
 // splitPeer parses "host:port/m" into the base address and endpoint

@@ -5,31 +5,45 @@ import (
 	"repro/internal/transport"
 )
 
-// udpEngines lists the UDP syscall engines compiled into this test
+// udpEngines lists the UDP syscall engines available to this test
 // binary, so real-transport suites (adversity stress, alloc guard,
-// loopback bench) run over each: the batched mmsg engine where
-// available, and the portable per-packet fallback always. A
-// `-tags=nommsg` build reduces the list to the fallback alone, which
-// is then also the engine behind the default constructors.
+// loopback bench) run over each: the segmentation-offload gso engine
+// where the build and kernel both support it, the batched mmsg engine
+// where available, and the portable per-packet fallback always. A
+// `-tags=nogso` build drops the gso leg, `-tags=nommsg` reduces the
+// list to the fallback alone — which is then also the engine behind
+// the default constructors.
 func udpEngines() []string {
-	if erpc.UDPMmsgSupported {
+	switch {
+	case erpc.UDPGsoSupported():
+		return []string{"gso", "mmsg", "per-packet"}
+	case erpc.UDPMmsgSupported:
 		return []string{"mmsg", "per-packet"}
+	default:
+		return []string{"per-packet"}
 	}
-	return []string{"per-packet"}
 }
 
 // newUDPTransportEngine binds one socket on the named engine.
 func newUDPTransportEngine(engine string, addr erpc.Addr, bind string) (*transport.UDP, error) {
-	if engine == "per-packet" {
+	switch engine {
+	case "per-packet":
 		return erpc.NewUDPTransportPerPacket(addr, bind)
+	case "mmsg":
+		return erpc.NewUDPTransportMmsg(addr, bind)
+	default:
+		return erpc.NewUDPTransport(addr, bind)
 	}
-	return erpc.NewUDPTransport(addr, bind)
 }
 
 // listenUDPEngine binds n endpoint sockets on the named engine.
 func listenUDPEngine(engine string, node uint16, host string, basePort, n int) ([]*transport.UDP, error) {
-	if engine == "per-packet" {
+	switch engine {
+	case "per-packet":
 		return erpc.ListenUDPPerPacket(node, host, basePort, n)
+	case "mmsg":
+		return erpc.ListenUDPMmsg(node, host, basePort, n)
+	default:
+		return erpc.ListenUDP(node, host, basePort, n)
 	}
-	return erpc.ListenUDP(node, host, basePort, n)
 }

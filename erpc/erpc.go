@@ -134,12 +134,23 @@ func NewWallClock() Clock { return sim.NewWallClock() }
 // NewUDPTransport binds a real UDP socket for endpoint addr at the
 // given bind address (e.g. "127.0.0.1:0"). Use AddPeer on the returned
 // transport to map remote endpoint addresses to UDP addresses. The
-// socket uses the platform's best syscall engine: batched
-// sendmmsg/recvmmsg on Linux (one kernel crossing per RX/TX burst),
-// the portable per-packet engine elsewhere; the transport's Engine,
-// Syscalls and MmsgBatches report which one ran and what it cost.
+// socket uses the platform's best syscall engine: segmentation offload
+// (UDP_SEGMENT supersegment TX, UDP_GRO coalesced RX — one kernel
+// stack traversal per same-peer run of a burst) where the kernel
+// supports it, batched sendmmsg/recvmmsg on other Linux (one kernel
+// crossing per RX/TX burst), the portable per-packet engine elsewhere;
+// the transport's Engine, Syscalls, MmsgBatches, GsoSegments and
+// GroBatches report which one ran and what it cost.
 func NewUDPTransport(addr Addr, bind string) (*transport.UDP, error) {
 	return transport.NewUDP(addr, bind)
+}
+
+// NewUDPTransportMmsg is NewUDPTransport with the segmentation-offload
+// engine skipped: batched sendmmsg/recvmmsg where compiled in, the
+// per-packet fallback elsewhere. It is the "before" of the GSO/GRO
+// comparison and the engine behind the cmds' -gso=false knob.
+func NewUDPTransportMmsg(addr Addr, bind string) (*transport.UDP, error) {
+	return transport.NewUDPMmsg(addr, bind)
 }
 
 // NewUDPTransportPerPacket is NewUDPTransport with the portable
@@ -153,6 +164,19 @@ func NewUDPTransportPerPacket(addr Addr, bind string) (*transport.UDP, error) {
 // engine is compiled into this binary (Linux amd64/arm64 without the
 // `nommsg` build tag).
 const UDPMmsgSupported = transport.MmsgSupported
+
+// UDPGsoCompiled reports whether the segmentation-offload UDP engine
+// (UDP_SEGMENT supersegment TX + UDP_GRO coalesced RX) is compiled
+// into this binary (Linux amd64/arm64 without the `nommsg`/`nogso`
+// build tags).
+const UDPGsoCompiled = transport.GsoSupported
+
+// UDPGsoSupported reports whether the segmentation-offload engine
+// actually runs here: compiled in (UDPGsoCompiled) and accepted by the
+// kernel (UDP_SEGMENT/UDP_GRO probe, cached). When true, NewUDPTransport
+// and the listen helpers select the gso engine by default; the Mmsg
+// variants opt out. It is the runtime mirror of UDPReusePortSupported.
+func UDPGsoSupported() bool { return transport.UDPGsoSupported() }
 
 // NewPool returns a recycling packet-buffer pool for a custom
 // Transport's burst datapath (see transport.NewPool).
@@ -202,6 +226,12 @@ func ListenUDPPerPacket(node uint16, host string, basePort, n int) ([]*transport
 	return listenUDP(node, host, basePort, n, transport.NewUDPPerPacket)
 }
 
+// ListenUDPMmsg is ListenUDP with the segmentation-offload engine
+// skipped on every socket (see NewUDPTransportMmsg).
+func ListenUDPMmsg(node uint16, host string, basePort, n int) ([]*transport.UDP, error) {
+	return listenUDP(node, host, basePort, n, transport.NewUDPMmsg)
+}
+
 // ListenUDPShards binds n SO_REUSEPORT shard sockets, all on one UDP
 // address, for the endpoints (node, 0..n-1) of a sharded server
 // process: the kernel hashes each client flow to one shard, and that
@@ -216,6 +246,12 @@ func ListenUDPPerPacket(node uint16, host string, basePort, n int) ([]*transport
 // issued the requests.
 func ListenUDPShards(node uint16, bind string, n int) ([]*transport.UDP, error) {
 	return transport.ListenUDPShards(node, bind, n)
+}
+
+// ListenUDPShardsMmsg is ListenUDPShards with the segmentation-offload
+// engine skipped on every shard socket (see NewUDPTransportMmsg).
+func ListenUDPShardsMmsg(node uint16, bind string, n int) ([]*transport.UDP, error) {
+	return transport.ListenUDPShardsMmsg(node, bind, n)
 }
 
 // UDPReusePortSupported reports whether ListenUDPShards binds its
@@ -263,6 +299,15 @@ func BurstConfigs(cfgs []Config, burst int) []Config {
 		for i := range cfgs {
 			cfgs[i].BurstSize = burst
 		}
+	}
+	return cfgs
+}
+
+// AdaptConfigs sets adaptive TX-flush-threshold tuning on every Config
+// (the -adaptburst knob of the cmds; see Config.AdaptiveBurst).
+func AdaptConfigs(cfgs []Config, adapt bool) []Config {
+	for i := range cfgs {
+		cfgs[i].AdaptiveBurst = adapt
 	}
 	return cfgs
 }
@@ -365,12 +410,27 @@ func UDPShardStats(trs []*transport.UDP) []string {
 	lines := make([]string, len(trs))
 	for i, tr := range trs {
 		ps := tr.RxPoolStats()
-		lines[i] = fmt.Sprintf("endpoint %v on %s (%s): %d syscalls, %d mmsg batches, rx pool: %d allocs, %d fast + %d shared recycles, %d refills",
+		lines[i] = fmt.Sprintf("endpoint %v on %s (%s): %d syscalls, %d mmsg batches, %d gso segments, %d gro batches, rx pool: %d allocs, %d fast + %d shared recycles, %d refills",
 			tr.LocalAddr(), tr.BoundAddr(), tr.Engine(),
 			tr.Syscalls.Load(), tr.MmsgBatches.Load(),
+			tr.GsoSegments.Load(), tr.GroBatches.Load(),
 			ps.News, ps.FastPuts, ps.SharedPuts, ps.Refills)
 	}
 	return lines
+}
+
+// UDPGsoStats sums the segmentation-offload counters over a process's
+// UDP transports: datagrams transmitted inside UDP_SEGMENT
+// supersegments and received supersegments that arrived UDP_GRO-
+// coalesced. Both are zero unless the gso engine ran (see
+// UDPGsoSupported). The erpc-server/-client commands report these at
+// exit; close the transports first for exact counts.
+func UDPGsoStats(trs []*transport.UDP) (gsoSegments, groBatches uint64) {
+	for _, tr := range trs {
+		gsoSegments += tr.GsoSegments.Load()
+		groBatches += tr.GroBatches.Load()
+	}
+	return gsoSegments, groBatches
 }
 
 // NewFaultyTransport wraps t with send-side fault injection (drops,

@@ -171,8 +171,8 @@ func runUDPAdversity(t *testing.T, engine string) {
 	if eng != engine {
 		t.Fatalf("ran on engine %q, want %q", eng, engine)
 	}
-	if engine == "mmsg" && batches == 0 {
-		t.Fatalf("mmsg engine made no multi-message batches over %d syscalls", syscalls)
+	if (engine == "mmsg" || engine == "gso") && batches == 0 {
+		t.Fatalf("%s engine made no multi-message batches over %d syscalls", engine, syscalls)
 	}
 	if engine == "per-packet" && batches != 0 {
 		t.Fatalf("per-packet engine reported %d mmsg batches", batches)

@@ -77,6 +77,14 @@ func (w *Wheel[T]) Insert(at sim.Time, v T) {
 		off = w.horizon - 1
 	}
 	idx := (w.headIdx + int(off/w.gran)) % len(w.slots)
+	if w.slots[idx] == nil {
+		// First use of this slot index (or its backing moved to the
+		// free list): reuse a recycled backing before growing a fresh
+		// one, so steady-state pacing allocates for at most as many
+		// slots as are ever non-empty at once — not for every slot
+		// index the advancing head walks across the ring.
+		w.slots[idx] = w.popSpare()
+	}
 	w.slots[idx] = append(w.slots[idx], item[T]{at: at, v: v})
 	w.size++
 }

@@ -186,3 +186,26 @@ func BenchmarkInsertPoll(b *testing.B) {
 		w.PollUntil(now, func(sim.Time, int) {})
 	}
 }
+
+// TestInsertReusesSpareAcrossRing pins the steady-state allocation
+// bound: as the head walks the ring, inserts into slot indexes that
+// were never touched before must reuse recycled backings from the free
+// list instead of growing fresh ones, so a paced workload allocates
+// for at most as many slots as are ever non-empty at once.
+func TestInsertReusesSpareAcrossRing(t *testing.T) {
+	w := New[int](64, 10)
+	now := sim.Time(0)
+	// Prime: one backing enters the free list.
+	w.Insert(now, 1)
+	w.PollUntil(now, func(sim.Time, int) {})
+	avg := testing.AllocsPerRun(1000, func() {
+		now += 10 // head advances one slot per cycle: every index is fresh
+		w.Insert(now, 2)
+		if w.PollUntil(now, func(sim.Time, int) {}) != 1 {
+			t.Fatal("item not delivered")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state paced insert allocates %.3f times per op, want 0", avg)
+	}
+}

@@ -44,9 +44,12 @@ func (r *Rpc) FailPeer(node uint16) {
 	r.apiEnter()
 	defer r.apiExit()
 	r.Stats.PeerFailures++
-	// Flush the TX DMA queue once for the failure event.
+	// Flush the TX DMA queue once for the failure event — literally:
+	// the TX batch may hold zero-copy msgbuf aliases whose references
+	// must drop before continuations hand buffer ownership back.
 	r.charge(r.cost.DMAFlush)
 	r.Stats.DMAFlushes++
+	r.flushTX()
 	r.drainWheelFor(func(e wheelEntry) bool { return e.sess.remote.Node == node })
 
 	for _, s := range r.sessions {
@@ -79,6 +82,7 @@ func (r *Rpc) DestroySession(s *Session) {
 	defer r.apiExit()
 	r.charge(r.cost.DMAFlush)
 	r.Stats.DMAFlushes++
+	r.flushTX() // release zero-copy TX references before failing conts
 	r.drainWheelFor(func(e wheelEntry) bool { return e.sess == s })
 	r.teardownSession(s, ErrSessionClosed)
 }

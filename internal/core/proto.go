@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/msgbuf"
 	"repro/internal/sim"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -337,7 +338,19 @@ func (r *Rpc) txClientPkt(s *Session, idx int, kind wireKind, pktNum int) {
 		}
 		frame := ss.req.Frame(pktNum, r.scratch)
 		r.charge(r.cost.PktTx)
-		r.rawSend(s.remote, frame)
+		if pktNum == 0 {
+			// Packet 0's header and data are contiguous in the msgbuf
+			// (Figure 2), so the frame can ride the TX batch as an
+			// alias of the application's buffer — zero-copy
+			// transmission end to end (Appendix C), with rawSendZC's
+			// reference bookkeeping keeping ownership away from the
+			// application until the flush. Non-first packets are
+			// assembled in the shared scratch buffer, which the next
+			// assembly overwrites, so they take the pooled-copy path.
+			r.rawSendZC(s.remote, frame, ss.req)
+		} else {
+			r.rawSend(s.remote, frame)
+		}
 	case kindRFR:
 		if pktNum < len(ss.respTxTimes) {
 			ss.respTxTimes[pktNum] = ts
@@ -369,39 +382,80 @@ func (r *Rpc) sendCtrl(dst transport.Addr, h wire.Header) {
 // a msgbuf the application regains ownership of before the flush, or
 // the shared scratch assembly buffer — can be reused immediately. The
 // batch is flushed with one SendBurst per event-loop iteration
-// (§4.2.2's single DMA-queue flush), or earlier if it fills.
+// (§4.2.2's single DMA-queue flush), or earlier if it reaches the
+// flush threshold (BurstSize, or the AIMD-tuned value under
+// Config.AdaptiveBurst).
 func (r *Rpc) rawSend(dst transport.Addr, frame []byte) {
-	r.Stats.PktsTx++
-	r.Stats.BytesTx += uint64(len(frame))
 	buf := append(r.txPool.Get(), frame...)
-	r.txBatch = append(r.txBatch, transport.Frame{Data: buf, Addr: dst})
+	r.appendTX(dst, buf, true)
+}
+
+// rawSendZC appends a frame that aliases buf's backing array — no
+// copy, the zero-copy transmission of paper Appendix C. The TX batch
+// holds a transmission reference on buf (RetainTX) until the flush, so
+// ownership cannot return to the application while the "DMA queue"
+// still points into the buffer: onResp drops responses while
+// references are outstanding (the client then retransmits), and
+// session teardown flushes the batch before failing continuations.
+// Simulation mode keeps the pooled-copy path: a simulated frame
+// departs at a later scheduler event, beyond the flush's reach.
+func (r *Rpc) rawSendZC(dst transport.Addr, frame []byte, buf *msgbuf.Buf) {
+	if r.sched != nil {
+		r.rawSend(dst, frame)
+		return
+	}
+	r.Stats.ZeroCopyTx++
+	buf.RetainTX()
+	r.txRefs = append(r.txRefs, buf)
+	r.appendTX(dst, frame, false)
+}
+
+// appendTX queues one frame on the TX batch. owned marks a pooled copy
+// to recycle at flush; zero-copy aliases are released via txRefs
+// instead.
+func (r *Rpc) appendTX(dst transport.Addr, data []byte, owned bool) {
+	r.Stats.PktsTx++
+	r.Stats.BytesTx += uint64(len(data))
+	r.txBatch = append(r.txBatch, transport.Frame{Data: data, Addr: dst})
+	r.txOwned = append(r.txOwned, owned)
 	if r.sched != nil {
 		// The packet leaves when the CPU reaches this point in its
 		// work (cursor) plus the non-CPU send pipeline (doorbell, DMA
 		// fetch) — recorded now, applied at flush.
 		r.txDep = append(r.txDep, r.cursor+r.cfg.TxPipeline)
 	}
-	if len(r.txBatch) >= r.burst {
+	if len(r.txBatch) >= r.txThresh {
 		r.flushTX()
 	}
 }
 
 // flushTX transmits the accumulated TX batch: one SendBurst (one
-// doorbell) in real-transport mode; in simulation mode each frame is
-// scheduled to depart at its recorded per-packet time, preserving the
-// TxPipeline timing model.
+// doorbell) in real-transport mode, then recycles pooled copies and
+// releases the zero-copy msgbuf references the batch held (SendBurst
+// completes transmission synchronously, so the buffers are free). In
+// simulation mode each frame is scheduled to depart at its recorded
+// per-packet time, preserving the TxPipeline timing model.
 func (r *Rpc) flushTX() {
 	if len(r.txBatch) == 0 {
 		return
 	}
 	r.Stats.TxBursts++
 	if r.sched == nil {
+		r.groupTXByPeer()
 		r.tr.SendBurst(r.txBatch)
 		for i := range r.txBatch {
-			r.txPool.Put(r.txBatch[i].Data)
+			if r.txOwned[i] {
+				r.txPool.Put(r.txBatch[i].Data)
+			}
 			r.txBatch[i] = transport.Frame{}
 		}
 		r.txBatch = r.txBatch[:0]
+		r.txOwned = r.txOwned[:0]
+		for i, b := range r.txRefs {
+			b.ReleaseTX()
+			r.txRefs[i] = nil
+		}
+		r.txRefs = r.txRefs[:0]
 		return
 	}
 	for i := range r.txBatch {
@@ -418,7 +472,40 @@ func (r *Rpc) flushTX() {
 		r.txBatch[i] = transport.Frame{}
 	}
 	r.txBatch = r.txBatch[:0]
+	r.txOwned = r.txOwned[:0]
 	r.txDep = r.txDep[:0]
+}
+
+// groupTXByPeer stable-partitions the TX batch so frames to the same
+// destination are consecutive before the SendBurst. UDP gives no
+// ordering guarantee across destinations (and eRPC tolerates reorder
+// within one — §5.3), but consecutive same-peer frames are what the
+// transport's gso engine coalesces into supersegments, so a batch that
+// interleaves peers (a server answering several clients in one
+// iteration) still yields maximal runs. Insertion sort: bursts are
+// ≤ BurstSize frames and usually already grouped, making this O(n) in
+// the common case and allocation-free always.
+func (r *Rpc) groupTXByPeer() {
+	b, o := r.txBatch, r.txOwned
+	for i := 1; i < len(b); i++ {
+		if b[i].Addr == b[i-1].Addr {
+			continue
+		}
+		// Find the end of the existing run of this peer, if any, and
+		// rotate frame i back to just after it, preserving per-peer
+		// order.
+		j := i
+		for j > 0 && b[j-1].Addr != b[i].Addr {
+			j--
+		}
+		if j == 0 {
+			continue // new peer: leave in place, it starts its own run
+		}
+		f, ow := b[i], o[i]
+		copy(b[j+1:i+1], b[j:i])
+		copy(o[j+1:i+1], o[j:i])
+		b[j], o[j] = f, ow
+	}
 }
 
 // rtoScan checks outstanding requests for retransmission timeouts and
@@ -447,8 +534,11 @@ func (r *Rpc) rollback(s *Session, idx int) {
 	ss.retransmits++
 	// Flush the TX DMA queue so no stale reference to the request
 	// msgbuf remains (the ≈2 µs flush that buys unsignaled
-	// transmission its 25% speedup the rest of the time).
+	// transmission its 25% speedup the rest of the time) — literally,
+	// since zero-copy TX: any queued alias of the msgbuf is
+	// transmitted and its reference released before the slot rewinds.
 	r.charge(r.cost.DMAFlush)
+	r.flushTX()
 	s.credits += ss.inFlight
 	ss.inFlight = 0
 	if ss.respNumPkts > 0 && ss.respRcvd >= 1 {

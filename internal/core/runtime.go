@@ -199,6 +199,8 @@ func (a *Stats) add(b *Stats) {
 	a.TxBursts += b.TxBursts
 	a.StalePktsRx += b.StalePktsRx
 	a.RespDropWheel += b.RespDropWheel
+	a.ZeroCopyTx += b.ZeroCopyTx
+	a.BurstAdapts += b.BurstAdapts
 	a.HandlersRun += b.HandlersRun
 	a.WorkerHandlers += b.WorkerHandlers
 	a.PeerFailures += b.PeerFailures

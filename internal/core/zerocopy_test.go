@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// captureTransport records every SendBurst's frames (sharing the
+// caller's Data slices, like a real transport mid-call) so tests can
+// inspect what the TX batch handed down and with which backing arrays.
+type captureTransport struct {
+	bursts  [][]transport.Frame
+	inBurst []bool // parallel: Data aliased the caller's buffer at call time
+}
+
+func (c *captureTransport) MTU() int                  { return 1472 }
+func (c *captureTransport) LocalAddr() transport.Addr { return transport.Addr{Node: 1} }
+func (c *captureTransport) Send(dst transport.Addr, frame []byte) {
+	c.SendBurst([]transport.Frame{{Data: frame, Addr: dst}})
+}
+func (c *captureTransport) SendBurst(frames []transport.Frame) {
+	burst := make([]transport.Frame, len(frames))
+	copy(burst, frames)
+	c.bursts = append(c.bursts, burst)
+}
+func (c *captureTransport) RecvBurst(frames []transport.Frame) int { return 0 }
+func (c *captureTransport) Recv() ([]byte, transport.Addr, bool)   { return nil, transport.Addr{}, false }
+func (c *captureTransport) SetWake(func())                         {}
+func (c *captureTransport) Close() error                           { return nil }
+
+func newZCRpc(t *testing.T, tr transport.Transport, cfg Config) *Rpc {
+	t.Helper()
+	cfg.Transport = tr
+	cfg.Clock = sim.NewWallClock()
+	return NewRpc(echoNexus(), cfg)
+}
+
+// TestZeroCopyTxAliasesMsgbuf pins the zero-copy TX contract (paper
+// Appendix C): in real-transport mode a single-packet request's frame
+// reaches SendBurst aliasing the request msgbuf's own backing array —
+// no copy into a pooled wire buffer — while the TX batch holds a
+// transmission reference that is released once the batch is flushed.
+func TestZeroCopyTxAliasesMsgbuf(t *testing.T) {
+	ct := &captureTransport{}
+	r := newZCRpc(t, ct, Config{})
+	s, err := r.CreateSession(transport.Addr{Node: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, resp := r.Alloc(32), r.Alloc(32)
+	for i := range req.Data() {
+		req.Data()[i] = byte(i)
+	}
+	r.EnqueueRequest(s, echoType, req, resp, func(error) {})
+	if req.TXRefs() != 1 {
+		t.Fatalf("queued packet-0 frame holds %d TX refs, want 1", req.TXRefs())
+	}
+	r.RunEventLoopOnce() // flushes the TX batch
+	if req.TXRefs() != 0 {
+		t.Fatalf("TX refs not released at flush: %d outstanding", req.TXRefs())
+	}
+	if r.Stats.ZeroCopyTx != 1 {
+		t.Fatalf("Stats.ZeroCopyTx = %d, want 1", r.Stats.ZeroCopyTx)
+	}
+	var sent []transport.Frame
+	for _, b := range ct.bursts {
+		sent = append(sent, b...)
+	}
+	if len(sent) != 1 {
+		t.Fatalf("transport saw %d frames, want 1", len(sent))
+	}
+	// The captured frame must share memory with the msgbuf: Frame(0)
+	// aliases the backing array, so identical base pointers prove no
+	// copy happened.
+	alias := req.Frame(0, nil)
+	if &sent[0].Data[0] != &alias[0] {
+		t.Fatalf("packet-0 frame was copied: sent base %p, msgbuf base %p", &sent[0].Data[0], &alias[0])
+	}
+}
+
+// TestZeroCopyTxTeardownReleasesRefs checks the failure path: failing
+// a session with zero-copy frames still queued must flush the batch
+// (releasing the msgbuf references) before continuations run, so the
+// application can Free its buffers from the continuation — the
+// Appendix B discipline of flushing the DMA queue on failure.
+func TestZeroCopyTxTeardownReleasesRefs(t *testing.T) {
+	ct := &captureTransport{}
+	r := newZCRpc(t, ct, Config{})
+	s, err := r.CreateSession(transport.Addr{Node: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, resp := r.Alloc(8), r.Alloc(8)
+	freed := false
+	r.EnqueueRequest(s, echoType, req, resp, func(err error) {
+		if err == nil {
+			t.Error("teardown completed without error")
+		}
+		// Must not panic: no outstanding TX references at this point.
+		r.Free(req)
+		r.Free(resp)
+		freed = true
+	})
+	if req.TXRefs() != 1 {
+		t.Fatalf("queued packet-0 frame holds %d TX refs, want 1", req.TXRefs())
+	}
+	r.DestroySession(s)
+	if !freed {
+		t.Fatal("continuation did not run on DestroySession")
+	}
+}
+
+// TestAdaptiveBurstAIMD pins the adaptive flush-threshold controller:
+// full RX bursts grow the threshold additively toward BurstSize,
+// near-empty bursts halve it toward 1, and every change is counted.
+func TestAdaptiveBurstAIMD(t *testing.T) {
+	ct := &captureTransport{}
+	r := newZCRpc(t, ct, Config{BurstSize: 16, AdaptiveBurst: true})
+	if r.txThresh != 16 {
+		t.Fatalf("initial threshold = %d, want 16", r.txThresh)
+	}
+	// Idle RX bursts: multiplicative decrease 16 -> 8 -> 4 -> 2 -> 1.
+	for i, want := range []int{8, 4, 2, 1, 1} {
+		r.adaptBurst(0)
+		if r.txThresh != want {
+			t.Fatalf("after %d empty bursts threshold = %d, want %d", i+1, r.txThresh, want)
+		}
+	}
+	if r.Stats.BurstAdapts != 4 {
+		t.Fatalf("BurstAdapts = %d, want 4 (no change at the floor)", r.Stats.BurstAdapts)
+	}
+	// Full RX bursts: additive increase back toward the burst size.
+	for i := 0; i < 20; i++ {
+		r.adaptBurst(16)
+	}
+	if r.txThresh != 16 {
+		t.Fatalf("after sustained full bursts threshold = %d, want 16", r.txThresh)
+	}
+	if r.Stats.BurstAdapts != 4+15 {
+		t.Fatalf("BurstAdapts = %d, want 19 (capped at BurstSize)", r.Stats.BurstAdapts)
+	}
+	// Mid fill (> burst/4, < burst): threshold holds.
+	r.adaptBurst(8)
+	if r.txThresh != 16 || r.Stats.BurstAdapts != 19 {
+		t.Fatalf("mid-fill burst moved the threshold: %d (%d adapts)", r.txThresh, r.Stats.BurstAdapts)
+	}
+}
+
+// TestAdaptiveBurstFlushesEarly checks the threshold is live: at
+// threshold 1 every queued packet is its own SendBurst, instead of
+// waiting for the end-of-iteration flush.
+func TestAdaptiveBurstFlushesEarly(t *testing.T) {
+	ct := &captureTransport{}
+	r := newZCRpc(t, ct, Config{BurstSize: 16, AdaptiveBurst: true})
+	for i := 0; i < 4; i++ {
+		r.adaptBurst(0) // drive the threshold to 1
+	}
+	s, err := r.CreateSession(transport.Addr{Node: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		req, resp := r.Alloc(8), r.Alloc(8)
+		r.EnqueueRequest(s, echoType, req, resp, func(error) {})
+	}
+	if got := len(ct.bursts); got != 3 {
+		t.Fatalf("threshold 1 produced %d SendBursts for 3 packets, want 3", got)
+	}
+	for _, b := range ct.bursts {
+		if len(b) != 1 {
+			t.Fatalf("burst of %d frames at threshold 1, want 1", len(b))
+		}
+	}
+}
+
+// TestGroupTXByPeer pins the per-peer coalescing order of the TX
+// batch: a flush that interleaves destinations is stable-partitioned
+// so each peer's frames are consecutive (what the gso engine coalesces
+// into supersegments) while per-peer order is preserved.
+func TestGroupTXByPeer(t *testing.T) {
+	ct := &captureTransport{}
+	r := newZCRpc(t, ct, Config{BurstSize: 16})
+	a := transport.Addr{Node: 10}
+	b := transport.Addr{Node: 20}
+	c := transport.Addr{Node: 30}
+	for _, f := range []struct {
+		addr transport.Addr
+		tag  byte
+	}{{a, 0}, {b, 0}, {a, 1}, {c, 0}, {b, 1}, {a, 2}} {
+		r.rawSend(f.addr, []byte{byte(f.addr.Node), f.tag})
+	}
+	r.flushTX()
+	if len(ct.bursts) != 1 {
+		t.Fatalf("%d bursts, want 1", len(ct.bursts))
+	}
+	var got [][2]byte
+	for _, f := range ct.bursts[0] {
+		got = append(got, [2]byte{f.Data[0], f.Data[1]})
+	}
+	want := [][2]byte{{10, 0}, {10, 1}, {10, 2}, {20, 0}, {20, 1}, {30, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("flushed %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frame %d = %v, want %v (full order %v)", i, got[i], want[i], got)
+		}
+	}
+}

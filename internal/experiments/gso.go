@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"repro/internal/transport"
+)
+
+// The gso benchmark measures the segmentation-offload UDP datapath:
+// the windowed small-RPC loopback workload run over the mmsg engine
+// (one sendmmsg/recvmmsg per burst, but one kernel stack traversal per
+// datagram — the "before") and over the gso engine (same syscall
+// batching, plus UDP_SEGMENT supersegments on TX and UDP_GRO
+// coalescing on RX, so a same-peer run of a burst traverses the stack
+// once — the "after"). Zero-copy TX rides along on both engines: the
+// client's request packet-0 frames alias the msgbuf end to end, which
+// the rows report as zero_copy_tx_per_op. cmd/erpc-bench -gso records
+// the sweep in BENCH_gso.json.
+//
+// Syscalls/op is the controlled measure here too, and it captures the
+// GRO half directly: a supersegment crossing loopback is delivered
+// coalesced, so the receiver drains a whole TX burst in one recvmmsg
+// where the mmsg engine's reader races per-datagram arrivals. The
+// coalescing axis needs multi-frame bursts to exist: at window 1 every
+// burst is one frame and the engines are identical by construction,
+// and at window 2 completion-driven re-issue desynchronizes the two
+// in-flight requests into mostly-single-frame bursts, leaving the
+// engines within noise of each other. The sweep therefore starts at
+// window 4, the shallowest point where same-peer runs form reliably.
+
+// GsoRuntimeSupported mirrors the transport gate for the bench
+// harness: whether the "after" engine exists in this binary AND this
+// kernel accepts UDP_SEGMENT/UDP_GRO.
+func GsoRuntimeSupported() bool {
+	return transport.GsoSupported && transport.UDPGsoSupported()
+}
+
+// GsoWindows is the in-flight-request sweep. Windows 1-2 are omitted
+// by design: their bursts are mostly single frames, nothing coalesces,
+// and both engines measure identically (see the package comment
+// above); from window 4 up every point exercises real supersegments.
+// Window 16 exceeds the per-session slot limit (core.DefaultNumSlots =
+// 8), so it also drives the FIFO backlog path under offload.
+var GsoWindows = []int{4, 8, 16}
+
+// GsoSweep runs the full before/after sweep: the mmsg engine across
+// every window, then the gso engine (when the build and kernel support
+// it; gso is nil otherwise). Each point is measured several times and
+// the best run kept — loopback RPC wall time on small hosts is
+// scheduler-bound and bimodal (see the udpsyscall sweep) — while
+// syscalls/op, the gso/gro counters and zero-copy accounting are
+// stable across modes. Rows print as they are measured.
+func GsoSweep(opts Options, printf func(format string, a ...any)) (mmsg, gso []UDPSyscallResult) {
+	if printf == nil {
+		printf = func(string, ...any) {}
+	}
+	const reps = 5
+	row := func(newTr func(transport.Addr, string) (*transport.UDP, error), w int) UDPSyscallResult {
+		best := udpEchoMeasure(newTr, w, opts)
+		for i := 1; i < reps; i++ {
+			if m := udpEchoMeasure(newTr, w, opts); m.Krps > best.Krps {
+				best = m
+			}
+		}
+		printf("engine=%-10s window=%-2d  %8.1f krps  %6.2f syscalls/op  %6d gso segs  %5d gro batches  %.2f zc-tx/op (best of %d)\n",
+			best.Engine, best.Window, best.Krps, best.SyscallsPerOp,
+			best.GsoSegments, best.GroBatches, best.ZeroCopyTxPerOp, reps)
+		best.BestOf = reps
+		return best
+	}
+	for _, w := range GsoWindows {
+		mmsg = append(mmsg, row(transport.NewUDPMmsg, w))
+	}
+	if !GsoRuntimeSupported() {
+		return mmsg, nil
+	}
+	for _, w := range GsoWindows {
+		gso = append(gso, row(transport.NewUDP, w))
+	}
+	return mmsg, gso
+}
+
+// GsoTxBlastSweep measures TX blast capacity on the mmsg engine and
+// the gso engine (gso nil when unsupported), best of 3 runs each. Both
+// pay one syscall per 16-frame burst; the gso row additionally reports
+// segments/syscall — how many datagrams each kernel crossing (and, on
+// loopback, each stack traversal) carried as one supersegment.
+func GsoTxBlastSweep(opts Options, printf func(format string, a ...any)) (mmsg, gso *UDPTxBlastResult) {
+	if printf == nil {
+		printf = func(string, ...any) {}
+	}
+	const reps = 3
+	row := func(newTr func(transport.Addr, string) (*transport.UDP, error)) *UDPTxBlastResult {
+		best := udpTxBlast(newTr, opts)
+		for i := 1; i < reps; i++ {
+			if m := udpTxBlast(newTr, opts); m.Mpps > best.Mpps {
+				best = m
+			}
+		}
+		best.BestOf = reps
+		printf("engine=%-10s tx blast   %8.2f Mpps  %6.2f syscalls/pkt  %6.1f segments/syscall (best of %d)\n",
+			best.Engine, best.Mpps, best.SyscallsPerOp, best.SegsPerSyscall, reps)
+		return &best
+	}
+	mmsg = row(transport.NewUDPMmsg)
+	if GsoRuntimeSupported() {
+		gso = row(transport.NewUDP)
+	}
+	return mmsg, gso
+}

@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// WriteJSONReport marshals v as indented JSON and writes it to path
+// with a trailing newline — the one place the benchmark artifacts
+// (BENCH_datapath.json, BENCH_udpsyscall.json, BENCH_reuseport.json,
+// BENCH_gso.json) are serialized, so every erpc-bench sweep records
+// its file the same way.
+func WriteJSONReport(path string, v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

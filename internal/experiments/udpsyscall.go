@@ -45,28 +45,42 @@ type UDPSyscallResult struct {
 	SyscallsPerOp float64 `json:"syscalls_per_op"`
 	MmsgBatches   uint64  `json:"mmsg_batches"`
 	Completed     uint64  `json:"completed"`
+	// GsoSegments/GroBatches are the segmentation-offload counters
+	// summed over both sockets (gso engine only): datagrams sent inside
+	// TX supersegments and supersegments received GRO-coalesced.
+	GsoSegments uint64 `json:"gso_segments,omitempty"`
+	GroBatches  uint64 `json:"gro_batches,omitempty"`
+	// ZeroCopyTxPerOp is the client's msgbuf-aliased (uncopied) TX
+	// frames per completed RPC — 1.0 when every request rode the
+	// zero-copy path.
+	ZeroCopyTxPerOp float64 `json:"zero_copy_tx_per_op,omitempty"`
 	// BestOf is how many runs this row is the best of (see
 	// UDPSyscallSweep on loopback bimodality); 0 for a single run.
 	BestOf int `json:"best_of,omitempty"`
 }
 
-// UDPSyscallMeasure runs one sweep point: `window` concurrent 32-byte
-// echo RPCs over loopback between two endpoints driven from one
-// goroutine, on the per-packet or (when compiled in) the mmsg engine.
-// It reports throughput and the syscall cost per completed RPC summed
-// over both sockets.
+// UDPSyscallMeasure runs one sweep point on the per-packet or (when
+// compiled in) the mmsg engine; see udpEchoMeasure.
 func UDPSyscallMeasure(perPacket bool, window int, opts Options) UDPSyscallResult {
-	opts = opts.norm()
-	engine := transport.NewUDP
 	if perPacket {
-		engine = transport.NewUDPPerPacket
+		return udpEchoMeasure(transport.NewUDPPerPacket, window, opts)
 	}
-	srvTr, err := engine(transport.Addr{Node: 1, Port: 0}, "127.0.0.1:0")
+	return udpEchoMeasure(transport.NewUDPMmsg, window, opts)
+}
+
+// udpEchoMeasure runs one sweep point: `window` concurrent 32-byte
+// echo RPCs over loopback between two endpoints built by newTr (one of
+// the transport constructors, selecting the syscall engine), each on
+// the real multi-endpoint runtime. It reports throughput and the
+// syscall cost per completed RPC summed over both sockets.
+func udpEchoMeasure(newTr func(transport.Addr, string) (*transport.UDP, error), window int, opts Options) UDPSyscallResult {
+	opts = opts.norm()
+	srvTr, err := newTr(transport.Addr{Node: 1, Port: 0}, "127.0.0.1:0")
 	if err != nil {
 		panic(err)
 	}
 	defer srvTr.Close()
-	cliTr, err := engine(transport.Addr{Node: 2, Port: 0}, "127.0.0.1:0")
+	cliTr, err := newTr(transport.Addr{Node: 2, Port: 0}, "127.0.0.1:0")
 	if err != nil {
 		panic(err)
 	}
@@ -82,8 +96,8 @@ func UDPSyscallMeasure(perPacket bool, window int, opts Options) UDPSyscallResul
 	// dispatch goroutine each, parking on its own transport wake — so
 	// wall time reflects the deployed pipeline, not a synthetic driver.
 	nx := EchoNexus(32)
-	server := core.NewServer(nx, []core.Config{{Transport: srvTr, Clock: sim.NewWallClock()}}, 1)
-	client := core.NewClient(nx, []core.Config{{Transport: cliTr, Clock: sim.NewWallClock()}})
+	server := core.NewServer(nx, []core.Config{{Transport: srvTr, Clock: sim.NewWallClock(), AdaptiveBurst: opts.AdaptBurst}}, 1)
+	client := core.NewClient(nx, []core.Config{{Transport: cliTr, Clock: sim.NewWallClock(), AdaptiveBurst: opts.AdaptBurst}})
 	sess, err := client.CreateSession(0, server.Addrs())
 	if err != nil {
 		panic(err)
@@ -149,8 +163,21 @@ func UDPSyscallMeasure(perPacket bool, window int, opts Options) UDPSyscallResul
 	<-alloced
 	runN(warm)
 
+	// readZC snapshots the client's zero-copy TX counter on its own
+	// dispatch context (Stats is dispatch-goroutine state).
+	readZC := func() uint64 {
+		var v uint64
+		done := make(chan struct{})
+		r.Post(func() { v = r.Stats.ZeroCopyTx; close(done) })
+		<-done
+		return v
+	}
+
 	sys0 := srvTr.Syscalls.Load() + cliTr.Syscalls.Load()
 	bat0 := srvTr.MmsgBatches.Load() + cliTr.MmsgBatches.Load()
+	seg0 := srvTr.GsoSegments.Load() + cliTr.GsoSegments.Load()
+	gro0 := srvTr.GroBatches.Load() + cliTr.GroBatches.Load()
+	zc0 := readZC()
 	t0 := time.Now()
 	runN(total - warm)
 	wall := time.Since(t0)
@@ -164,12 +191,15 @@ func UDPSyscallMeasure(perPacket bool, window int, opts Options) UDPSyscallResul
 		WallSec:     wall.Seconds(),
 		MmsgBatches: bat,
 		Completed:   measured,
+		GsoSegments: srvTr.GsoSegments.Load() + cliTr.GsoSegments.Load() - seg0,
+		GroBatches:  srvTr.GroBatches.Load() + cliTr.GroBatches.Load() - gro0,
 	}
 	if wall > 0 {
 		res.Krps = float64(measured) / wall.Seconds() / 1e3
 	}
 	if measured > 0 {
 		res.SyscallsPerOp = float64(sys) / float64(measured)
+		res.ZeroCopyTxPerOp = float64(readZC()-zc0) / float64(measured)
 	}
 	return res
 }
@@ -184,27 +214,38 @@ type UDPTxBlastResult struct {
 	WallSec       float64 `json:"wall_sec"`
 	SyscallsPerOp float64 `json:"syscalls_per_pkt"`
 	Packets       uint64  `json:"packets"`
+	// GsoSegments counts datagrams sent inside TX supersegments, and
+	// SegsPerSyscall the supersegment amortization per kernel crossing
+	// (gso engine only): how many datagrams each syscall — and, on
+	// loopback, each kernel stack traversal — carried.
+	GsoSegments    uint64  `json:"gso_segments,omitempty"`
+	SegsPerSyscall float64 `json:"segments_per_syscall,omitempty"`
 	// BestOf is how many runs this row is the best of; 0 for one run.
 	BestOf int `json:"best_of,omitempty"`
 }
 
-// UDPTxBlast measures TX datapath capacity on one engine: a sender
+// UDPTxBlast measures TX blast capacity on the per-packet or (when
+// compiled in) the mmsg engine; see udpTxBlast.
+func UDPTxBlast(perPacket bool, opts Options) UDPTxBlastResult {
+	if perPacket {
+		return udpTxBlast(transport.NewUDPPerPacket, opts)
+	}
+	return udpTxBlast(transport.NewUDPMmsg, opts)
+}
+
+// udpTxBlast measures TX datapath capacity on one engine: a sender
 // blasts bursts of DefaultBurst 32-byte frames at a receiver as fast
 // as SendBurst returns, and the sender's wall clock gives packets/sec.
 // Receiver-side ring overflow is expected and harmless (NIC RQ
 // semantics); only the send half is timed.
-func UDPTxBlast(perPacket bool, opts Options) UDPTxBlastResult {
+func udpTxBlast(newTr func(transport.Addr, string) (*transport.UDP, error), opts Options) UDPTxBlastResult {
 	opts = opts.norm()
-	engine := transport.NewUDP
-	if perPacket {
-		engine = transport.NewUDPPerPacket
-	}
-	rx, err := engine(transport.Addr{Node: 1, Port: 0}, "127.0.0.1:0")
+	rx, err := newTr(transport.Addr{Node: 1, Port: 0}, "127.0.0.1:0")
 	if err != nil {
 		panic(err)
 	}
 	defer rx.Close()
-	tx, err := engine(transport.Addr{Node: 2, Port: 0}, "127.0.0.1:0")
+	tx, err := newTr(transport.Addr{Node: 2, Port: 0}, "127.0.0.1:0")
 	if err != nil {
 		panic(err)
 	}
@@ -227,6 +268,7 @@ func UDPTxBlast(perPacket bool, opts Options) UDPTxBlastResult {
 		tx.SendBurst(frames)
 	}
 	sys0 := tx.Syscalls.Load()
+	seg0 := tx.GsoSegments.Load()
 	t0 := time.Now()
 	for i := 0; i < bursts; i++ {
 		tx.SendBurst(frames)
@@ -235,14 +277,18 @@ func UDPTxBlast(perPacket bool, opts Options) UDPTxBlastResult {
 	sys := tx.Syscalls.Load() - sys0
 	pkts := uint64(bursts) * burst
 	res := UDPTxBlastResult{
-		Engine:  tx.Engine(),
-		WallSec: wall.Seconds(),
-		Packets: pkts,
+		Engine:      tx.Engine(),
+		WallSec:     wall.Seconds(),
+		Packets:     pkts,
+		GsoSegments: tx.GsoSegments.Load() - seg0,
 	}
 	if wall > 0 {
 		res.Mpps = float64(pkts) / wall.Seconds() / 1e6
 	}
 	res.SyscallsPerOp = float64(sys) / float64(pkts)
+	if sys > 0 && res.GsoSegments > 0 {
+		res.SegsPerSyscall = float64(res.GsoSegments) / float64(sys)
+	}
 	return res
 }
 

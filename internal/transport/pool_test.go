@@ -123,3 +123,72 @@ func BenchmarkPoolGetPut(b *testing.B) {
 		b.Fatalf("single-owner path allocated: News = %d, want the 1 warm-up buffer", st.News)
 	}
 }
+
+// TestReleaseBurstMixedFrames releases bursts that mix all three frame
+// flavors the datapath produces — owner-path pooled frames (same
+// goroutine as the pool owner), shared-release frames bound for a pool
+// owned by another goroutine, and unpooled zero-copy aliases (the TX
+// batch's msgbuf-backed frames, whose Release must touch no pool at
+// all) — while the foreign pool's owner hammers its lock-free fast
+// path. Run under -race this pins the ownership rules: ReleaseBurst
+// must route each flavor down its own path, coalesce only the shared
+// runs, and leave aliased bytes untouched.
+func TestReleaseBurstMixedFrames(t *testing.T) {
+	pOwn := NewPool(128, 256)     // owned by this goroutine
+	pForeign := NewPool(128, 256) // owned by the reader goroutine below
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { // foreign pool's owner: lock-free Get/Put + refills
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b := pForeign.Get()
+			pForeign.Put(b)
+		}
+	}()
+
+	alias := make([]byte, 64) // stands in for a msgbuf backing array
+	for i := range alias {
+		alias[i] = byte(i)
+	}
+
+	const rounds = 5_000
+	for i := 0; i < rounds; i++ {
+		burst := []Frame{
+			PooledFrame(pOwn.Get(), Addr{1, 0}, pOwn),
+			SharedFrame(pForeign.GetShared(), Addr{2, 0}, pForeign),
+			{Data: alias, Addr: Addr{3, 0}}, // zero-copy alias: no pool
+			SharedFrame(pForeign.GetShared(), Addr{2, 1}, pForeign),
+			SharedFrame(pForeign.GetShared(), Addr{2, 2}, pForeign),
+			PooledFrame(pOwn.Get(), Addr{1, 1}, pOwn),
+			{Data: alias[32:], Addr: Addr{3, 1}},
+		}
+		ReleaseBurst(burst)
+		for j := range burst {
+			if burst[j].Data != nil || burst[j].pool != nil || burst[j].shared {
+				t.Fatalf("round %d: frame %d not cleared by ReleaseBurst: %+v", i, j, burst[j])
+			}
+		}
+	}
+	close(stop)
+	<-done
+
+	for i := range alias {
+		if alias[i] != byte(i) {
+			t.Fatalf("zero-copy alias byte %d corrupted: %d", i, alias[i])
+		}
+	}
+	if st := pOwn.Stats(); st.FastPuts != 2*rounds || st.SharedPuts != 0 {
+		t.Fatalf("owner frames took the wrong path: %+v", st)
+	}
+	// The aliased frames' buffers must never have entered either pool:
+	// the foreign pool saw exactly the 3 shared releases per round.
+	if st := pForeign.Stats(); st.SharedPuts < 3*rounds {
+		t.Fatalf("shared frames under-released: %+v (want >= %d shared puts)", st, 3*rounds)
+	}
+}

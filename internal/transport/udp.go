@@ -29,14 +29,25 @@ import (
 //
 // # Syscall engines
 //
-// The socket I/O itself is pluggable between two engines:
+// The socket I/O itself is pluggable between three engines:
 //
-//   - mmsg (Linux, default): SendBurst and the reader goroutine use
-//     sendmmsg(2)/recvmmsg(2), so a full burst of N frames costs one
-//     kernel crossing instead of N — the socket-world analogue of the
-//     paper's one-DMA-flush-per-TX-burst discipline (§4.2). TX gathers
-//     the 4-byte source prefix and the frame as a two-entry iovec, so
-//     frames go to the kernel straight from the caller's buffers.
+//   - gso (Linux, default where the kernel supports UDP_SEGMENT/
+//     UDP_GRO — see GsoSupported and UDPGsoSupported): the mmsg engine
+//     plus segmentation offload. TX coalesces consecutive same-peer
+//     equal-size frames of a burst into one supersegment datagram sent
+//     with a UDP_SEGMENT cmsg, so up to ~44 MTU-sized (or hundreds of
+//     small) datagrams traverse the kernel stack once; RX enables
+//     UDP_GRO and splits returned supersegments back into pooled
+//     frames at the cmsg-reported segment size. Bursts become
+//     sendmmsg/recvmmsg calls *of supersegments*.
+//   - mmsg (Linux; the default where GSO is unavailable, forced with
+//     NewUDPMmsg or the `nogso` build tag): SendBurst and the reader
+//     goroutine use sendmmsg(2)/recvmmsg(2), so a full burst of N
+//     frames costs one kernel crossing instead of N — the socket-world
+//     analogue of the paper's one-DMA-flush-per-TX-burst discipline
+//     (§4.2). TX gathers the 4-byte source prefix and the frame as a
+//     two-entry iovec, so frames go to the kernel straight from the
+//     caller's buffers.
 //   - per-packet (all platforms; forced with the `nommsg` build tag or
 //     NewUDPPerPacket): one ReadFromUDPAddrPort/WriteToUDPAddrPort per
 //     datagram, the portable fallback.
@@ -44,7 +55,9 @@ import (
 // The Syscalls and MmsgBatches counters expose the difference: a
 // loopback benchmark under the mmsg engine completes bursts with
 // Syscalls ≈ bursts, while the per-packet engine pays Syscalls ≈
-// packets.
+// packets. GsoSegments and GroBatches count datagrams moved inside TX
+// supersegments and RX supersegments received coalesced — the gso
+// engine's measure of per-datagram kernel stack traversals saved.
 type UDP struct {
 	conn  *net.UDPConn
 	local Addr
@@ -85,13 +98,22 @@ type UDP struct {
 	// a burst of N frames on the mmsg engine is one syscall, one batch.
 	Syscalls    atomic.Uint64
 	MmsgBatches atomic.Uint64
+
+	// GsoSegments counts datagrams transmitted inside multi-segment
+	// UDP_SEGMENT supersegments, and GroBatches counts received
+	// supersegments that carried more than one datagram (UDP_GRO
+	// coalescing observed). Both are zero except on the gso engine;
+	// each supersegment is one kernel stack traversal for all its
+	// segments, which is the cost the engine exists to amortize.
+	GsoSegments atomic.Uint64
+	GroBatches  atomic.Uint64
 }
 
 // udpEngine is the socket-I/O strategy: how bursts reach the kernel
 // and how the reader goroutine pulls datagrams out of it. Both engines
 // share the UDP core (peer table, RX ring, pool, wake).
 type udpEngine interface {
-	// name identifies the engine ("mmsg" or "per-packet").
+	// name identifies the engine ("gso", "mmsg" or "per-packet").
 	name() string
 	// sendBurst transmits resolved frames. Called with u.txMu held;
 	// dsts[i] is the resolved destination of frames[i] (invalid =>
@@ -134,24 +156,45 @@ const (
 	udpRingMask = udpRingCap - 1
 )
 
+// Engine choices for the internal constructors: the best available
+// engine (gso → mmsg → per-packet), mmsg-at-best (the gso engine
+// skipped, for before/after comparisons), or the portable per-packet
+// engine.
+const (
+	engAuto = iota
+	engMmsg
+	engPerPacket
+)
+
 // NewUDP binds a UDP socket at bind (e.g. "127.0.0.1:0") and returns a
-// transport using the platform's best syscall engine: batched
-// sendmmsg/recvmmsg on Linux (unless built with the `nommsg` tag), the
-// portable per-packet engine elsewhere.
+// transport using the platform's best syscall engine: the
+// segmentation-offload gso engine where the kernel supports
+// UDP_SEGMENT/UDP_GRO, batched sendmmsg/recvmmsg on other Linux
+// (unless built with the `nommsg` tag), the portable per-packet engine
+// elsewhere.
 func NewUDP(local Addr, bind string) (*UDP, error) {
-	return newUDP(local, bind, false)
+	return newUDP(local, bind, engAuto)
+}
+
+// NewUDPMmsg binds a UDP socket like NewUDP but without the
+// segmentation-offload engine: batched sendmmsg/recvmmsg where
+// compiled in, the per-packet fallback elsewhere. It is the "before"
+// of the gso comparison (erpc-bench -gso) and the engine behind the
+// cmds' -gso=false knob.
+func NewUDPMmsg(local Addr, bind string) (*UDP, error) {
+	return newUDP(local, bind, engMmsg)
 }
 
 // NewUDPPerPacket binds a UDP socket like NewUDP but forces the
 // portable per-packet engine (one syscall per datagram) even where the
-// mmsg engine is available. It exists so the two engines can be
+// batched engines are available. It exists so the engines can be
 // compared in one process — the erpc-bench -udpsyscall sweep — and so
 // the fallback path is exercised by tests on Linux.
 func NewUDPPerPacket(local Addr, bind string) (*UDP, error) {
-	return newUDP(local, bind, true)
+	return newUDP(local, bind, engPerPacket)
 }
 
-func newUDP(local Addr, bind string, perPacket bool) (*UDP, error) {
+func newUDP(local Addr, bind string, choice int) (*UDP, error) {
 	la, err := net.ResolveUDPAddr("udp", bind)
 	if err != nil {
 		return nil, fmt.Errorf("transport: resolve %q: %w", bind, err)
@@ -160,12 +203,12 @@ func newUDP(local Addr, bind string, perPacket bool) (*UDP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %q: %w", bind, err)
 	}
-	return newUDPConn(local, conn, perPacket), nil
+	return newUDPConn(local, conn, choice), nil
 }
 
 // newUDPConn wraps an already-bound socket (ListenUDPShards binds its
 // own sockets with SO_REUSEPORT set) and starts the reader goroutine.
-func newUDPConn(local Addr, conn *net.UDPConn, perPacket bool) *UDP {
+func newUDPConn(local Addr, conn *net.UDPConn, choice int) *UDP {
 	u := &UDP{
 		conn:       conn,
 		local:      local,
@@ -178,9 +221,14 @@ func newUDPConn(local Addr, conn *net.UDPConn, perPacket bool) *UDP {
 		rxPool:    NewPool(udpHdrLen+DefaultUDPMTU, udpRingCap+64),
 		txScratch: make([]byte, udpHdrLen+DefaultUDPMTU),
 	}
-	if perPacket {
+	switch {
+	case choice == engPerPacket:
 		u.eng = &perPacketEngine{u: u}
-	} else {
+	case choice == engAuto && GsoSupported && UDPGsoSupported():
+		// newGsoEngine falls back to the default engine itself if the
+		// socket refuses UDP_GRO (e.g. an exotic socket type).
+		u.eng = newGsoEngine(u)
+	default:
 		u.eng = newDefaultEngine(u)
 	}
 	go func() {
@@ -209,11 +257,22 @@ func newUDPConn(local Addr, conn *net.UDPConn, perPacket bool) *UDP {
 // client-mode session's responses must reach the endpoint that issued
 // the requests — give client endpoints distinct ports instead.
 func ListenUDPShards(node uint16, bind string, n int) ([]*UDP, error) {
+	return listenUDPShards(node, bind, n, engAuto)
+}
+
+// ListenUDPShardsMmsg is ListenUDPShards without the
+// segmentation-offload engine on the shard sockets (see NewUDPMmsg);
+// it backs the server cmds' -gso=false knob.
+func ListenUDPShardsMmsg(node uint16, bind string, n int) ([]*UDP, error) {
+	return listenUDPShards(node, bind, n, engMmsg)
+}
+
+func listenUDPShards(node uint16, bind string, n, choice int) ([]*UDP, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("transport: ListenUDPShards needs n >= 1 (got %d)", n)
 	}
 	if !ReusePortSupported {
-		return listenShardsFallback(node, bind, n)
+		return listenShardsFallback(node, bind, n, choice)
 	}
 	shards := make([]*UDP, 0, n)
 	addr := bind
@@ -230,7 +289,7 @@ func ListenUDPShards(node uint16, bind string, n int) ([]*UDP, error) {
 			// shard 0's port even when bind asked for port 0.
 			addr = conn.LocalAddr().String()
 		}
-		shards = append(shards, newUDPConn(Addr{Node: node, Port: uint16(i)}, conn, false))
+		shards = append(shards, newUDPConn(Addr{Node: node, Port: uint16(i)}, conn, choice))
 	}
 	return shards, nil
 }
@@ -238,7 +297,7 @@ func ListenUDPShards(node uint16, bind string, n int) ([]*UDP, error) {
 // listenShardsFallback is the portable ListenUDPShards layout: n
 // distinct ports (consecutive from bind's port, or all ephemeral when
 // it is 0), one per shard.
-func listenShardsFallback(node uint16, bind string, n int) ([]*UDP, error) {
+func listenShardsFallback(node uint16, bind string, n, choice int) ([]*UDP, error) {
 	host, portStr, err := net.SplitHostPort(bind)
 	if err != nil {
 		return nil, fmt.Errorf("transport: bad shard bind %q: %w", bind, err)
@@ -254,7 +313,7 @@ func listenShardsFallback(node uint16, bind string, n int) ([]*UDP, error) {
 			port = basePort + i
 		}
 		u, err := newUDP(Addr{Node: node, Port: uint16(i)},
-			net.JoinHostPort(host, strconv.Itoa(port)), false)
+			net.JoinHostPort(host, strconv.Itoa(port)), choice)
 		if err != nil {
 			for _, s := range shards {
 				s.Close()
@@ -266,8 +325,9 @@ func listenShardsFallback(node uint16, bind string, n int) ([]*UDP, error) {
 	return shards, nil
 }
 
-// Engine reports which syscall engine this transport runs on:
-// "mmsg" (batched sendmmsg/recvmmsg) or "per-packet".
+// Engine reports which syscall engine this transport runs on: "gso"
+// (segmentation offload over sendmmsg/recvmmsg), "mmsg" (batched
+// sendmmsg/recvmmsg) or "per-packet".
 func (u *UDP) Engine() string { return u.eng.name() }
 
 // BoundAddr returns the socket's actual address (useful with port 0).

@@ -73,11 +73,26 @@ func TestUDPEngineReported(t *testing.T) {
 	}
 	defer u.Close()
 	want := "per-packet"
-	if MmsgSupported {
+	switch {
+	case GsoSupported && UDPGsoSupported():
+		want = "gso"
+	case MmsgSupported:
 		want = "mmsg"
 	}
 	if got := u.Engine(); got != want {
 		t.Fatalf("NewUDP engine = %q, want %q", got, want)
+	}
+	m, err := NewUDPMmsg(Addr{3, 0}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	wantMmsg := "per-packet"
+	if MmsgSupported {
+		wantMmsg = "mmsg"
+	}
+	if got := m.Engine(); got != wantMmsg {
+		t.Fatalf("NewUDPMmsg engine = %q, want %q", got, wantMmsg)
 	}
 	p, err := NewUDPPerPacket(Addr{2, 0}, "127.0.0.1:0")
 	if err != nil {

@@ -1,0 +1,134 @@
+//go:build linux && !nommsg && !nogso && (amd64 || arm64)
+
+package transport
+
+// Fallback-path tests that poke gsoEngine internals; gated to the gso
+// build like the engine itself.
+
+import (
+	"testing"
+	"time"
+	"unsafe"
+)
+
+// TestUDPGsoSendSegmentedFallback exercises the path-MTU degradation
+// path directly: a staged supersegment pushed through sendSegmented
+// (what flush does when the kernel bounces a GSO send with EINVAL)
+// must deliver every segment as its own plain datagram. The trigger
+// itself — a link whose MTU rejects the segment size — cannot be
+// reproduced over loopback (64 KiB MTU), which is exactly why the
+// fallback exists for real networks.
+func TestUDPGsoSendSegmentedFallback(t *testing.T) {
+	a, b := gsoPair(t)
+	eng, ok := a.eng.(*gsoEngine)
+	if !ok {
+		t.Fatalf("engine is %T, want *gsoEngine", a.eng)
+	}
+	const n = 5
+	var frames []Frame
+	for i := 0; i < n; i++ {
+		p := make([]byte, 48)
+		p[0] = byte(i)
+		frames = append(frames, Frame{Data: p, Addr: b.LocalAddr()})
+	}
+	// Stage the burst's TX arrays exactly as sendBurst does, but call
+	// the per-segment fallback instead of flushing the supersegment.
+	a.txMu.Lock()
+	dsts := make([]udpDest, n)
+	a.mu.Lock()
+	for i := range frames {
+		dsts[i] = a.peers[frames[i].Addr]
+	}
+	a.mu.Unlock()
+	m, iov := 0, 0
+	for i := range frames {
+		h := &eng.thdrs[m]
+		if i == 0 {
+			eng.appendSeg(iov, 2, frames[i].Data)
+			h.hdr.Iov = &eng.tiovs[iov]
+			h.hdr.Iovlen = 2
+			h.hdr.Name = (*byte)(unsafe.Pointer(&eng.tnames[m]))
+			h.hdr.Namelen = putSockaddr(&eng.tnames[m], dsts[i], eng.is4)
+			eng.tsegs[m] = 1
+			eng.tsegSize[m] = udpHdrLen + len(frames[i].Data)
+		} else {
+			eng.appendSeg(iov, 2, frames[i].Data)
+			h.hdr.Iovlen += 2
+			eng.tsegs[m]++
+		}
+		iov += 2
+	}
+	sys0 := a.Syscalls.Load()
+	eng.sendSegmented(0)
+	a.txMu.Unlock()
+	if got := a.Syscalls.Load() - sys0; got != n {
+		t.Fatalf("sendSegmented issued %d syscalls for %d segments, want %d", got, n, n)
+	}
+	got := make([]Frame, n)
+	seen := map[byte]bool{}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(seen) < n && time.Now().Before(deadline) {
+		k := b.RecvBurst(got)
+		for i := 0; i < k; i++ {
+			if ln := len(got[i].Data); ln != 48 {
+				t.Fatalf("segment arrived with %d bytes, want 48", ln)
+			}
+			seen[got[i].Data[0]] = true
+			got[i].Release()
+		}
+		if k == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("received %d of %d fallback segments", len(seen), n)
+	}
+}
+
+// TestUDPGsoWireCapStopsCoalescing pins the learned MTU ceiling: once
+// a socket's wireCap drops to a segment size (as flush does after the
+// kernel bounces a supersegment of that size), frames at or above it
+// are sent as plain singleton messages and never coalesce again,
+// while smaller frames keep coalescing.
+func TestUDPGsoWireCapStopsCoalescing(t *testing.T) {
+	a, b := gsoPair(t)
+	eng := a.eng.(*gsoEngine)
+	a.txMu.Lock()
+	eng.wireCap = udpHdrLen + 100 // pretend a 100-byte-frame supersegment bounced
+	a.txMu.Unlock()
+
+	mk := func(size, tag int) Frame {
+		p := make([]byte, size)
+		p[0] = byte(tag)
+		return Frame{Data: p, Addr: b.LocalAddr()}
+	}
+	seg0, sys0 := a.GsoSegments.Load(), a.Syscalls.Load()
+	a.SendBurst([]Frame{mk(100, 0), mk(100, 1), mk(100, 2)})
+	if got := a.GsoSegments.Load() - seg0; got != 0 {
+		t.Fatalf("capped-size frames still coalesced: %d gso segments", got)
+	}
+	if got := a.Syscalls.Load() - sys0; got != 1 {
+		t.Fatalf("capped burst took %d syscalls, want 1 sendmmsg of singletons", got)
+	}
+	seg1 := a.GsoSegments.Load()
+	a.SendBurst([]Frame{mk(64, 3), mk(64, 4), mk(64, 5)})
+	if got := a.GsoSegments.Load() - seg1; got != 3 {
+		t.Fatalf("under-cap frames did not coalesce: %d gso segments, want 3", got)
+	}
+	got := make([]Frame, 8)
+	seen := map[byte]bool{}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(seen) < 6 && time.Now().Before(deadline) {
+		k := b.RecvBurst(got)
+		for i := 0; i < k; i++ {
+			seen[got[i].Data[0]] = true
+			got[i].Release()
+		}
+		if k == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("received %d of 6 frames", len(seen))
+	}
+}

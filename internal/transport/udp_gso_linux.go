@@ -1,0 +1,498 @@
+//go:build linux && !nommsg && !nogso && (amd64 || arm64)
+
+package transport
+
+// The segmentation-offload engine: UDP generic segmentation offload
+// (UDP_SEGMENT, Linux 4.18+) and generic receive offload (UDP_GRO,
+// 5.0+) on top of the mmsg engine's sendmmsg/recvmmsg plumbing. The
+// mmsg engine amortizes the *syscall* over a burst, but every datagram
+// of the batch still traverses the kernel's UDP/IP stack individually;
+// GSO/GRO amortize that remaining per-datagram cost — the half of the
+// kernel budget syscall batching cannot touch, and the socket-world
+// analogue of the paper pushing batching below the doorbell into the
+// NIC's own DMA engine (§4.2).
+//
+//   - TX: consecutive frames of a burst bound for the same peer with
+//     the same wire size are gathered into ONE supersegment message —
+//     a single iovec chain of [prefix, frame, prefix, frame, ...] with
+//     a UDP_SEGMENT cmsg carrying the segment size — which the kernel
+//     segments after one stack traversal. A burst therefore becomes a
+//     sendmmsg of supersegments: one syscall, and one stack traversal
+//     per *peer run* rather than per datagram. The iovec gather means
+//     coalescing copies nothing: frames (including core.Rpc's
+//     zero-copy msgbuf aliases) go to the kernel from the caller's
+//     buffers, exactly like the mmsg engine.
+//   - RX: UDP_GRO is enabled on the socket, so bursts of small
+//     datagrams (in particular whole TX supersegments crossing
+//     loopback, which are never segmented at all) arrive as one
+//     coalesced buffer plus a cmsg segment size. The reader splits the
+//     supersegment back into pooled wire buffers at that stride and
+//     enqueues each as a normal RX frame. The split copies each
+//     segment once — the price of receiving many datagrams per stack
+//     traversal — but allocates nothing in steady state.
+//
+// The engine is compiled out with the `nogso` build tag (CI runs
+// -tags=nogso and -tags=nommsg,nogso legs) and skipped at runtime when
+// the kernel rejects the socket options (UDPGsoSupported probes once),
+// falling back to the mmsg engine. A third, per-socket fallback
+// handles path-MTU limits: the kernel refuses GSO sends whose
+// segments would need IP fragmentation (full-size frames on a
+// 1500-byte link, while loopback's 64 KiB MTU takes them), so a
+// bounced supersegment is degraded to per-segment sendmsg calls and
+// its segment size becomes the socket's coalescing ceiling (wireCap).
+
+import (
+	"net"
+	"runtime"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// GsoSupported reports whether the segmentation-offload engine is
+// compiled into this binary (Linux amd64/arm64, no `nommsg`/`nogso`
+// tags). Whether it actually runs also depends on the kernel: see
+// UDPGsoSupported.
+const GsoSupported = true
+
+const (
+	solUDP     = 17  // SOL_UDP (absent from the stdlib syscall package)
+	udpSegment = 103 // UDP_SEGMENT: TX cmsg / sockopt, u16 segment size
+	udpGRO     = 104 // UDP_GRO: sockopt to enable; RX cmsg, int segment size
+
+	// gsoMaxSegs caps segments per supersegment (the kernel's
+	// UDP_MAX_SEGMENTS is 64 on the oldest supported kernels), and
+	// gsoMaxBytes keeps the supersegment under the 65507-byte IPv4 UDP
+	// payload limit with margin.
+	gsoMaxSegs  = 64
+	gsoMaxBytes = 65000
+
+	// gsoTxWindow bounds messages (supersegments) and gsoTxFrames
+	// bounds frames per sendmmsg chunk; larger bursts flush in chunks.
+	gsoTxWindow = 64
+	gsoTxFrames = 64
+
+	// gsoRxWindow is how many supersegment buffers are posted per
+	// recvmmsg; each holds up to a whole 64 KiB supersegment.
+	gsoRxWindow = 8
+	gsoRxBufCap = 1 << 16
+
+	// gsoCtrlSpace is the per-message control-buffer stride, 8-aligned
+	// and large enough for one UDP_SEGMENT/UDP_GRO cmsg.
+	gsoCtrlSpace = 32
+)
+
+var (
+	gsoProbeOnce sync.Once
+	gsoProbeOK   bool
+)
+
+// UDPGsoSupported reports whether this kernel accepts the UDP_SEGMENT
+// and UDP_GRO socket options (probed once on a throwaway socket and
+// cached). It is the runtime half of the gso gate, playing the role
+// ReusePortSupported plays for the sharded listener: NewUDP selects
+// the gso engine only when the build (GsoSupported) and the kernel
+// both agree.
+func UDPGsoSupported() bool {
+	gsoProbeOnce.Do(func() {
+		fd, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_DGRAM|syscall.SOCK_CLOEXEC, 0)
+		if err != nil {
+			return
+		}
+		defer syscall.Close(fd)
+		if syscall.SetsockoptInt(fd, solUDP, udpSegment, DefaultUDPMTU) != nil {
+			return
+		}
+		if syscall.SetsockoptInt(fd, solUDP, udpGRO, 1) != nil {
+			return
+		}
+		gsoProbeOK = true
+	})
+	return gsoProbeOK
+}
+
+type gsoEngine struct {
+	u   *UDP
+	rc  syscall.RawConn
+	is4 bool // AF_INET socket: sockaddrs must be sockaddr_in
+
+	// TX state, guarded by u.txMu. prefix is the 4-byte source
+	// address shared by every segment's first iovec entry.
+	thdrs    []mmsghdr
+	tiovs    []syscall.Iovec
+	tnames   []syscall.RawSockaddrInet6
+	tctrl    []byte // gsoCtrlSpace bytes per message
+	tsegs    []int  // segments per message (counter accounting)
+	tsegSize []int  // wire bytes per segment of each message
+	prefix   [udpHdrLen]byte
+	txLo     int
+	txHi     int
+	txSent   int
+	txErrno  syscall.Errno
+	txFn     func(fd uintptr) bool // preallocated: rc.Write closure
+
+	// wireCap is the learned ceiling on coalescing-eligible segment
+	// sizes. The kernel refuses a UDP_SEGMENT send whose segments
+	// would not fit the path MTU unfragmented (EINVAL) — loopback's
+	// 64 KiB MTU always fits, a 1500-byte link does not fit full-size
+	// frames — while the same datagrams sent plainly may IP-fragment
+	// and deliver. When a supersegment bounces, flush degrades it to
+	// per-segment sendmsg calls and lowers wireCap to its segment
+	// size, so oversized runs never form again on this socket.
+	wireCap int
+
+	// Per-segment fallback state (see sendSegmented).
+	segHdr   syscall.Msghdr
+	segErrno syscall.Errno
+	segFn    func(fd uintptr) bool // preallocated: rc.Write closure
+
+	// RX state, owned by the reader goroutine. rbufs are engine-owned
+	// supersegment buffers: every segment is copied out into a pooled
+	// wire buffer before the next recvmmsg, so they recycle in place.
+	rhdrs   []mmsghdr
+	riovs   []syscall.Iovec
+	rbufs   [][]byte
+	rctrl   []byte
+	rxN     int
+	rxErrno syscall.Errno
+	rxFn    func(fd uintptr) bool // preallocated: rc.Read closure
+}
+
+// newGsoEngine returns the segmentation-offload engine for u's socket,
+// falling back to the platform default (mmsg) when the raw connection
+// is unavailable or the socket refuses UDP_GRO.
+func newGsoEngine(u *UDP) udpEngine {
+	rc, err := u.conn.SyscallConn()
+	if err != nil {
+		return newDefaultEngine(u)
+	}
+	var soErr error
+	if err := rc.Control(func(fd uintptr) {
+		soErr = syscall.SetsockoptInt(int(fd), solUDP, udpGRO, 1)
+	}); err != nil || soErr != nil {
+		return newDefaultEngine(u)
+	}
+	la, _ := u.conn.LocalAddr().(*net.UDPAddr)
+	e := &gsoEngine{
+		u:        u,
+		rc:       rc,
+		is4:      la != nil && la.IP.To4() != nil,
+		thdrs:    make([]mmsghdr, gsoTxWindow),
+		tiovs:    make([]syscall.Iovec, 2*gsoTxFrames),
+		tnames:   make([]syscall.RawSockaddrInet6, gsoTxWindow),
+		tctrl:    make([]byte, gsoCtrlSpace*gsoTxWindow),
+		tsegs:    make([]int, gsoTxWindow),
+		tsegSize: make([]int, gsoTxWindow),
+		wireCap:  1 << 30, // no learned ceiling yet
+		rhdrs:    make([]mmsghdr, gsoRxWindow),
+		riovs:    make([]syscall.Iovec, gsoRxWindow),
+		rbufs:    make([][]byte, gsoRxWindow),
+		rctrl:    make([]byte, gsoCtrlSpace*gsoRxWindow),
+	}
+	u.putHdr(e.prefix[:])
+	for i := range e.rbufs {
+		b := make([]byte, gsoRxBufCap)
+		e.rbufs[i] = b
+		e.riovs[i].Base = &b[0]
+		e.riovs[i].SetLen(len(b))
+	}
+	// Closures built once, like the mmsg engine: rc.Read/rc.Write take
+	// func values and a per-burst closure would heap-allocate on the
+	// hot path. Syscall6 (not RawSyscall6) keeps the scheduler's
+	// preemption points — see the mmsg engine's note on GOMAXPROCS=1
+	// loopback stalls.
+	e.txFn = func(fd uintptr) bool {
+		n, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
+			uintptr(unsafe.Pointer(&e.thdrs[e.txLo])), uintptr(e.txHi-e.txLo),
+			syscall.MSG_DONTWAIT, 0, 0)
+		e.txSent, e.txErrno = int(n), errno
+		return errno != syscall.EAGAIN
+	}
+	e.rxFn = func(fd uintptr) bool {
+		n, _, errno := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+			uintptr(unsafe.Pointer(&e.rhdrs[0])), uintptr(len(e.rhdrs)),
+			syscall.MSG_DONTWAIT, 0, 0)
+		e.rxN, e.rxErrno = int(n), errno
+		return errno != syscall.EAGAIN
+	}
+	e.segFn = func(fd uintptr) bool {
+		_, _, errno := syscall.Syscall6(syscall.SYS_SENDMSG, fd,
+			uintptr(unsafe.Pointer(&e.segHdr)), syscall.MSG_DONTWAIT, 0, 0, 0)
+		e.segErrno = errno
+		return errno != syscall.EAGAIN
+	}
+	return e
+}
+
+func (e *gsoEngine) name() string { return "gso" }
+
+// sendBurst transmits the resolved burst as sendmmsg calls of
+// supersegments: consecutive frames with the same destination and the
+// same wire size extend one message's iovec chain under a UDP_SEGMENT
+// cmsg (GSO requires every segment but the last to be exactly
+// gso_size, which equal-size runs satisfy); a frame with a new
+// destination or size opens a new message. Callers hold u.txMu.
+// Unknown peers, oversized frames and address-family mismatches are
+// dropped, like the other engines.
+func (e *gsoEngine) sendBurst(dsts []udpDest, frames []Frame) {
+	m := 0      // messages filled
+	iov := 0    // iovec cursor
+	run := -1   // message index of the open run (-1: none)
+	runSeg := 0 // wire size per segment of the open run
+	var runDest udpDest
+	runBytes := 0
+
+	for i := range frames {
+		ap := dsts[i].ap
+		data := frames[i].Data
+		if !ap.IsValid() || len(data) > e.u.mtu {
+			continue
+		}
+		if e.is4 && !ap.Addr().Is4() && !ap.Addr().Is4In6() {
+			continue
+		}
+		entries := 2
+		if len(data) == 0 {
+			entries = 1
+		}
+		wire := udpHdrLen + len(data)
+
+		if run == m-1 && run >= 0 && dsts[i] == runDest && wire == runSeg &&
+			wire < e.wireCap && e.tsegs[run] < gsoMaxSegs &&
+			runBytes+wire <= gsoMaxBytes && iov+entries <= len(e.tiovs) {
+			// Extend the open supersegment.
+			h := &e.thdrs[run]
+			e.appendSeg(iov, entries, data)
+			iov += entries
+			h.hdr.Iovlen += uint64(entries)
+			e.tsegs[run]++
+			runBytes += wire
+			if e.tsegs[run] == 2 {
+				// Second segment: this message is now a supersegment;
+				// attach the UDP_SEGMENT cmsg with the run's stride.
+				cb := e.tctrl[run*gsoCtrlSpace:]
+				ch := (*syscall.Cmsghdr)(unsafe.Pointer(&cb[0]))
+				ch.Level = solUDP
+				ch.Type = udpSegment
+				ch.SetLen(syscall.CmsgLen(2))
+				*(*uint16)(unsafe.Pointer(&cb[syscall.CmsgLen(0)])) = uint16(runSeg)
+				h.hdr.Control = &cb[0]
+				h.hdr.Controllen = uint64(syscall.CmsgSpace(2))
+			}
+			continue
+		}
+
+		// Open a new message, flushing first if either array is full.
+		if m == len(e.thdrs) || iov+entries > len(e.tiovs) {
+			e.flush(m)
+			m, iov, run = 0, 0, -1
+		}
+		h := &e.thdrs[m]
+		e.appendSeg(iov, entries, data)
+		h.hdr.Iov = &e.tiovs[iov]
+		h.hdr.Iovlen = uint64(entries)
+		iov += entries
+		h.hdr.Name = (*byte)(unsafe.Pointer(&e.tnames[m]))
+		h.hdr.Namelen = putSockaddr(&e.tnames[m], dsts[i], e.is4)
+		h.hdr.Control = nil
+		h.hdr.Controllen = 0
+		h.hdr.Flags = 0
+		h.msgLen = 0
+		e.tsegs[m] = 1
+		e.tsegSize[m] = wire
+		run, runDest, runSeg, runBytes = m, dsts[i], wire, wire
+		m++
+	}
+	if m > 0 {
+		e.flush(m)
+	}
+}
+
+// appendSeg writes one segment's iovec entries at cursor iov: the
+// shared source prefix, plus the frame payload when non-empty.
+func (e *gsoEngine) appendSeg(iov, entries int, data []byte) {
+	e.tiovs[iov].Base = &e.prefix[0]
+	e.tiovs[iov].SetLen(udpHdrLen)
+	if entries == 2 {
+		e.tiovs[iov+1].Base = &data[0]
+		e.tiovs[iov+1].SetLen(len(data))
+	}
+}
+
+// flush hands thdrs[:n] to the kernel, retrying the unsent tail after
+// short writes — the mmsg engine's discipline, with counter accounting
+// per supersegment: each successful sendmmsg is one syscall, a call
+// that moved more than one datagram is an mmsg batch, and every
+// multi-segment message adds its segment count to GsoSegments.
+func (e *gsoEngine) flush(n int) {
+	retries := 0
+	for lo := 0; lo < n; {
+		e.txLo, e.txHi = lo, n
+		if err := e.rc.Write(e.txFn); err != nil {
+			return // socket closed
+		}
+		if e.txErrno != 0 || e.txSent <= 0 {
+			switch e.txErrno {
+			case syscall.EINTR:
+				continue
+			case syscall.ENOBUFS, syscall.ENOMEM:
+				if retries < 3 {
+					retries++
+					runtime.Gosched() // let the stack drain
+					continue
+				}
+			case syscall.EINVAL, syscall.EMSGSIZE:
+				// A supersegment the kernel cannot send as GSO —
+				// typically segments too large for the path MTU (a
+				// plain send of the same datagram would IP-fragment
+				// instead). Degrade this message to per-segment
+				// sendmsg calls and remember the ceiling so such runs
+				// stop forming on this socket.
+				if e.tsegs[lo] > 1 {
+					if e.tsegSize[lo] < e.wireCap {
+						e.wireCap = e.tsegSize[lo]
+					}
+					e.sendSegmented(lo)
+					lo++
+					retries = 0
+					continue
+				}
+			}
+			lo++
+			retries = 0
+			continue
+		}
+		retries = 0
+		e.u.Syscalls.Add(1)
+		moved := 0
+		for j := lo; j < lo+e.txSent; j++ {
+			moved += e.tsegs[j]
+			if e.tsegs[j] > 1 {
+				e.u.GsoSegments.Add(uint64(e.tsegs[j]))
+			}
+		}
+		if moved > 1 {
+			e.u.MmsgBatches.Add(1)
+		}
+		lo += e.txSent
+	}
+}
+
+// sendSegmented transmits supersegment message m as one plain sendmsg
+// per segment — the fallback when the kernel refuses the GSO send
+// (see wireCap). The message's iovec chain is uniform ([prefix, data]
+// per segment, or [prefix] alone for empty frames), so each segment is
+// a fixed-stride window into it; the sockaddr is shared. Per-segment
+// errors are ignored like every other best-effort send. Callers hold
+// u.txMu.
+func (e *gsoEngine) sendSegmented(m int) {
+	h := &e.thdrs[m].hdr
+	segs := e.tsegs[m]
+	entries := int(h.Iovlen) / segs
+	// Recover the message's iovec window index from its pointer (the
+	// chain always lives in e.tiovs).
+	base := int((uintptr(unsafe.Pointer(h.Iov)) - uintptr(unsafe.Pointer(&e.tiovs[0]))) /
+		unsafe.Sizeof(syscall.Iovec{}))
+	for s := 0; s < segs; s++ {
+		e.segHdr = syscall.Msghdr{
+			Name:    h.Name,
+			Namelen: h.Namelen,
+			Iov:     &e.tiovs[base+s*entries],
+			Iovlen:  uint64(entries),
+		}
+		if err := e.rc.Write(e.segFn); err != nil {
+			return // socket closed
+		}
+		if e.segErrno == 0 {
+			e.u.Syscalls.Add(1)
+		}
+	}
+}
+
+// groSegSize parses message i's control data for the UDP_GRO cmsg and
+// returns the segment stride of a coalesced receive, or 0 when the
+// datagram arrived un-coalesced.
+func (e *gsoEngine) groSegSize(i int) int {
+	clen := int(e.rhdrs[i].hdr.Controllen)
+	if clen < syscall.CmsgLen(4) {
+		return 0
+	}
+	cb := e.rctrl[i*gsoCtrlSpace:]
+	ch := (*syscall.Cmsghdr)(unsafe.Pointer(&cb[0]))
+	if ch.Level != solUDP || ch.Type != udpGRO || int(ch.Len) < syscall.CmsgLen(4) {
+		return 0
+	}
+	return int(*(*int32)(unsafe.Pointer(&cb[syscall.CmsgLen(0)])))
+}
+
+// readLoop is the reader-goroutine body: post the supersegment window,
+// pull as many (possibly GRO-coalesced) messages as one recvmmsg
+// yields, split each back into pooled wire buffers at the cmsg
+// stride, enqueue, repeat. The supersegment buffers never leave the
+// engine, so no refill bookkeeping is needed.
+func (e *gsoEngine) readLoop() {
+	u := e.u
+	for {
+		for i := range e.rhdrs {
+			h := &e.rhdrs[i]
+			h.hdr.Iov = &e.riovs[i]
+			h.hdr.Iovlen = 1
+			h.hdr.Name = nil
+			h.hdr.Namelen = 0
+			h.hdr.Control = &e.rctrl[i*gsoCtrlSpace]
+			h.hdr.Controllen = gsoCtrlSpace
+			h.hdr.Flags = 0
+			h.msgLen = 0
+		}
+		if err := e.rc.Read(e.rxFn); err != nil {
+			return // socket closed
+		}
+		if e.rxErrno != 0 {
+			if u.closed() {
+				return
+			}
+			continue // transient (e.g. drained ICMP error); retry
+		}
+		n := e.rxN
+		if n <= 0 {
+			continue
+		}
+		u.Syscalls.Add(1)
+		datagrams := 0
+		for i := 0; i < n; i++ {
+			ln := int(e.rhdrs[i].msgLen)
+			buf := e.rbufs[i][:ln]
+			seg := e.groSegSize(i)
+			if seg <= 0 {
+				seg = ln
+			}
+			nseg := 0
+			for off := 0; off < ln; off += seg {
+				end := off + seg
+				if end > ln {
+					end = ln
+				}
+				pkt := buf[off:end]
+				nseg++
+				if len(pkt) < udpHdrLen {
+					continue
+				}
+				pb := u.rxPool.Get()
+				if len(pkt) > cap(pb) {
+					u.rxPool.Put(pb)
+					continue // oversized foreign datagram
+				}
+				pb = pb[:len(pkt)]
+				copy(pb, pkt)
+				u.enqueue(pb, pb[udpHdrLen:], parseHdr(pb))
+			}
+			datagrams += nseg
+			if nseg > 1 {
+				u.GroBatches.Add(1)
+			}
+		}
+		if datagrams > 1 {
+			u.MmsgBatches.Add(1)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+//go:build !linux || nommsg || nogso || !(amd64 || arm64)
+
+package transport
+
+// Fallback build: no segmentation-offload engine. NewUDP selects the
+// platform default (mmsg where compiled in, else per-packet). The
+// `nogso` build tag forces this path on Linux so CI can exercise it
+// (`go test -tags=nogso ./...`, and `-tags=nommsg,nogso` for the fully
+// portable stack).
+
+// GsoSupported reports whether the segmentation-offload engine is
+// compiled into this binary.
+const GsoSupported = false
+
+// UDPGsoSupported reports whether the kernel accepts UDP_SEGMENT and
+// UDP_GRO; without the engine compiled in the answer is always false.
+func UDPGsoSupported() bool { return false }
+
+// newGsoEngine is never selected on this build (newUDPConn checks
+// GsoSupported first); it exists so udp.go compiles.
+func newGsoEngine(u *UDP) udpEngine { return newDefaultEngine(u) }

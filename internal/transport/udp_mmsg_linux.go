@@ -213,12 +213,19 @@ func (e *mmsgEngine) flush(n int) {
 }
 
 // putName fills the sockaddr storage for one destination and returns
-// its length: sockaddr_in on an AF_INET socket, sockaddr_in6 (with
-// IPv4 destinations v4-mapped, and the zone resolved by AddPeer as
-// the numeric scope for link-local peers) on a dual-stack socket.
+// its length (see putSockaddr).
 func (e *mmsgEngine) putName(sa6 *syscall.RawSockaddrInet6, d udpDest) uint32 {
+	return putSockaddr(sa6, d, e.is4)
+}
+
+// putSockaddr fills the sockaddr storage for one destination and
+// returns its length: sockaddr_in on an AF_INET socket (is4),
+// sockaddr_in6 (with IPv4 destinations v4-mapped, and the zone
+// resolved by AddPeer as the numeric scope for link-local peers) on a
+// dual-stack socket. Shared by the mmsg and gso engines.
+func putSockaddr(sa6 *syscall.RawSockaddrInet6, d udpDest, is4 bool) uint32 {
 	ap := d.ap
-	if e.is4 {
+	if is4 {
 		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa6))
 		sa.Family = syscall.AF_INET
 		putSockPort((*[2]byte)(unsafe.Pointer(&sa.Port)), ap.Port())

@@ -199,9 +199,9 @@ func main() {
 		fmt.Printf("  %s\n", line)
 	}
 	engine, syscalls, batches := erpc.UDPSyscallStats(trs)
-	segs, gro := erpc.UDPGsoStats(trs)
-	fmt.Printf("udp engine %s: %d data syscalls (%.2f/rpc), %d mmsg batches, %d gso segments, %d gro batches\n",
-		engine, syscalls, float64(syscalls)/float64(max(total, 1)), batches, segs, gro)
+	segs, gro, aliased := erpc.UDPGsoStats(trs)
+	fmt.Printf("udp engine %s: %d data syscalls (%.2f/rpc), %d mmsg batches, %d gso segments, %d gro batches, %d gro segs aliased\n",
+		engine, syscalls, float64(syscalls)/float64(max(total, 1)), batches, segs, gro, aliased)
 	fmt.Printf("zero-copy tx frames: %d", st.ZeroCopyTx)
 	if st.BurstAdapts > 0 {
 		fmt.Printf(", adaptive burst: %d threshold changes", st.BurstAdapts)

@@ -154,9 +154,11 @@ func main() {
 		fmt.Printf("  %s, handled %d\n", line, server.Rpc(i).Stats.HandlersRun)
 	}
 	engine, syscalls, batches := erpc.UDPSyscallStats(trs)
-	segs, gro := erpc.UDPGsoStats(trs)
-	fmt.Printf("udp engine %s: %d data syscalls, %d mmsg batches, %d gso segments, %d gro batches\n",
-		engine, syscalls, batches, segs, gro)
+	segs, gro, aliased := erpc.UDPGsoStats(trs)
+	fmt.Printf("udp engine %s: %d data syscalls, %d mmsg batches, %d gso segments, %d gro batches, %d gro segs aliased\n",
+		engine, syscalls, batches, segs, gro, aliased)
+	fmt.Printf("zero-copy tx frames: %d, deferred msgbuf frees: %d\n",
+		st.ZeroCopyTx, st.DeferredFrees)
 	if *adapt {
 		var adapts uint64
 		for i := 0; i < server.NumEndpoints(); i++ {

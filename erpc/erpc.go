@@ -421,16 +421,19 @@ func UDPShardStats(trs []*transport.UDP) []string {
 
 // UDPGsoStats sums the segmentation-offload counters over a process's
 // UDP transports: datagrams transmitted inside UDP_SEGMENT
-// supersegments and received supersegments that arrived UDP_GRO-
-// coalesced. Both are zero unless the gso engine ran (see
+// supersegments, received supersegments that arrived UDP_GRO-
+// coalesced, and coalesced segments delivered as zero-copy frames
+// aliasing the refcounted supersegment buffer (rather than copied to
+// a pooled buffer). All are zero unless the gso engine ran (see
 // UDPGsoSupported). The erpc-server/-client commands report these at
 // exit; close the transports first for exact counts.
-func UDPGsoStats(trs []*transport.UDP) (gsoSegments, groBatches uint64) {
+func UDPGsoStats(trs []*transport.UDP) (gsoSegments, groBatches, groAliasedSegs uint64) {
 	for _, tr := range trs {
 		gsoSegments += tr.GsoSegments.Load()
 		groBatches += tr.GroBatches.Load()
+		groAliasedSegs += tr.GroAliasedSegs.Load()
 	}
-	return gsoSegments, groBatches
+	return gsoSegments, groBatches, groAliasedSegs
 }
 
 // NewFaultyTransport wraps t with send-side fault injection (drops,

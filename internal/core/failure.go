@@ -58,6 +58,13 @@ func (r *Rpc) FailPeer(node uint16) {
 		}
 		r.teardownSession(s, ErrPeerFailure)
 	}
+	// Client-teardown continuations may have queued new frames — a
+	// nested-RPC handler enqueueing its (zero-copy) response from a
+	// failed request's continuation lands here — so flush again before
+	// resetting server slots: resetSrvSlot must see drained TX
+	// references to free response buffers immediately rather than
+	// deferring them.
+	r.flushTX()
 	for key, s := range r.srvSessions {
 		if key.addr.Node != node {
 			continue
@@ -67,6 +74,10 @@ func (r *Rpc) FailPeer(node uint16) {
 		}
 		delete(r.srvSessions, key)
 	}
+	// Drain any frees that still had queued aliases (and, in real
+	// transport mode where apiExit does not flush, any frames the
+	// teardown itself queued).
+	r.flushTX()
 }
 
 // DestroySession closes a client session; outstanding and queued
@@ -85,6 +96,10 @@ func (r *Rpc) DestroySession(s *Session) {
 	r.flushTX() // release zero-copy TX references before failing conts
 	r.drainWheelFor(func(e wheelEntry) bool { return e.sess == s })
 	r.teardownSession(s, ErrSessionClosed)
+	// Continuations may queue new frames (and, via nested-RPC response
+	// enqueues, zero-copy aliases); flush so none outlive the API call
+	// in real transport mode, where apiExit does not flush.
+	r.flushTX()
 }
 
 // teardownSession fails every outstanding and queued request on s.

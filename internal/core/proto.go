@@ -391,12 +391,14 @@ func (r *Rpc) rawSend(dst transport.Addr, frame []byte) {
 }
 
 // rawSendZC appends a frame that aliases buf's backing array — no
-// copy, the zero-copy transmission of paper Appendix C. The TX batch
-// holds a transmission reference on buf (RetainTX) until the flush, so
-// ownership cannot return to the application while the "DMA queue"
-// still points into the buffer: onResp drops responses while
-// references are outstanding (the client then retransmits), and
-// session teardown flushes the batch before failing continuations.
+// copy, the zero-copy transmission of paper Appendix C, used for both
+// request and response packet 0. The TX batch holds a transmission
+// reference on buf (RetainTX) until the flush, so ownership cannot
+// return to the application while the "DMA queue" still points into
+// the buffer: onResp drops responses while references are outstanding
+// (the client then retransmits), server slot reuse defers the response
+// buffer's free until the references drain (resetSrvSlot/drainTXFree),
+// and session teardown flushes the batch before failing continuations.
 // Simulation mode keeps the pooled-copy path: a simulated frame
 // departs at a later scheduler event, beyond the flush's reach.
 func (r *Rpc) rawSendZC(dst transport.Addr, frame []byte, buf *msgbuf.Buf) {
@@ -437,6 +439,9 @@ func (r *Rpc) appendTX(dst transport.Addr, data []byte, owned bool) {
 // per-packet time, preserving the TxPipeline timing model.
 func (r *Rpc) flushTX() {
 	if len(r.txBatch) == 0 {
+		// Nothing queued, but deferred frees may have become eligible
+		// (e.g. a teardown released the last references).
+		r.drainTXFree()
 		return
 	}
 	r.Stats.TxBursts++
@@ -456,6 +461,7 @@ func (r *Rpc) flushTX() {
 			r.txRefs[i] = nil
 		}
 		r.txRefs = r.txRefs[:0]
+		r.drainTXFree()
 		return
 	}
 	for i := range r.txBatch {
@@ -474,6 +480,30 @@ func (r *Rpc) flushTX() {
 	r.txBatch = r.txBatch[:0]
 	r.txOwned = r.txOwned[:0]
 	r.txDep = r.txDep[:0]
+}
+
+// drainTXFree frees the deferred-release msgbufs whose transmission
+// references have drained (see resetSrvSlot: a slot reset while the
+// response's zero-copy alias was still queued parks the buffer here
+// instead of freeing it under the "DMA queue"). Buffers still
+// referenced — e.g. re-aliased by a retransmission in the new batch —
+// stay parked for the next flush.
+func (r *Rpc) drainTXFree() {
+	if len(r.txFree) == 0 {
+		return
+	}
+	kept := r.txFree[:0]
+	for _, b := range r.txFree {
+		if b.TXRefs() == 0 {
+			r.alloc.Free(b)
+		} else {
+			kept = append(kept, b)
+		}
+	}
+	for i := len(kept); i < len(r.txFree); i++ {
+		r.txFree[i] = nil
+	}
+	r.txFree = kept
 }
 
 // groupTXByPeer stable-partitions the TX batch so frames to the same

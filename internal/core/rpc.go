@@ -169,7 +169,10 @@ type Stats struct {
 	RespDropWheel uint64 // responses dropped because a retransmitted
 	// request reference was still queued for transmission — in the rate
 	// limiter or, zero-copy TX, in the unflushed TX batch (Appendix C)
-	ZeroCopyTx     uint64 // request packet-0 frames sent aliasing the msgbuf
+	ZeroCopyTx    uint64 // request/response packet-0 frames sent aliasing the msgbuf
+	DeferredFrees uint64 // server response msgbufs whose free was deferred to the
+	// next TX flush because a zero-copy alias was still queued (slot
+	// reuse or teardown racing the unflushed batch, Appendix C)
 	BurstAdapts    uint64 // adaptive TX-flush-threshold changes (AIMD)
 	HandlersRun    uint64
 	WorkerHandlers uint64
@@ -228,6 +231,7 @@ type Rpc struct {
 	txBatch  []transport.Frame // per-iteration TX batch: pooled copies + msgbuf aliases
 	txOwned  []bool            // txBatch[i].Data is a txPool copy (recycle at flush)
 	txRefs   []*msgbuf.Buf     // msgbufs aliased by zero-copy frames; released at flush
+	txFree   []*msgbuf.Buf     // pooled msgbufs awaiting free once their TX refs drain
 	txDep    []sim.Time        // sim mode: per-frame departure times
 	txPool   *transport.Pool   // recycled TX frame buffers
 

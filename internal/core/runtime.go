@@ -200,6 +200,7 @@ func (a *Stats) add(b *Stats) {
 	a.StalePktsRx += b.StalePktsRx
 	a.RespDropWheel += b.RespDropWheel
 	a.ZeroCopyTx += b.ZeroCopyTx
+	a.DeferredFrees += b.DeferredFrees
 	a.BurstAdapts += b.BurstAdapts
 	a.HandlersRun += b.HandlersRun
 	a.WorkerHandlers += b.WorkerHandlers

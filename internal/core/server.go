@@ -251,6 +251,17 @@ func (r *Rpc) sendRespPkt(s *Session, ss *srvSlot, k int) {
 	}
 	frame := ss.respBuf.Frame(k, r.scratch)
 	r.charge(r.cost.PktTx)
+	if k == 0 {
+		// Packet 0 is header + data contiguous in the msgbuf (Figure
+		// 2), so it goes out as a zero-copy alias — the response half
+		// of Appendix C. The TX batch holds a reference until the
+		// flush; slot reuse and teardown defer the buffer's free while
+		// references are outstanding (resetSrvSlot), and a retransmit
+		// re-aliasing the same buffer just adds another reference to
+		// the identical bytes.
+		r.rawSendZC(s.remote, frame, ss.respBuf)
+		return
+	}
 	r.rawSend(s.remote, frame)
 }
 
@@ -284,14 +295,24 @@ func (r *Rpc) onRFR(h *wire.Header, from transport.Addr) {
 	r.sendRespPkt(s, ss, k)
 }
 
-// resetSrvSlot releases a slot's buffers before reuse.
+// resetSrvSlot releases a slot's buffers before reuse. A pooled
+// response buffer whose zero-copy alias is still queued in the TX
+// batch must not be freed here — the next response on the slot would
+// clobber bytes the "DMA queue" still points at — so it is parked on
+// the deferred-free list until its references drain at a flush
+// (drainTXFree).
 func (r *Rpc) resetSrvSlot(ss *srvSlot) {
 	if ss.reqBuf != nil {
 		r.alloc.Free(ss.reqBuf)
 		ss.reqBuf = nil
 	}
 	if ss.respBuf != nil && !ss.respIsPrealloc && ss.respPooled {
-		r.alloc.Free(ss.respBuf)
+		if ss.respBuf.TXRefs() > 0 {
+			r.Stats.DeferredFrees++
+			r.txFree = append(r.txFree, ss.respBuf)
+		} else {
+			r.alloc.Free(ss.respBuf)
+		}
 	}
 	ss.respBuf = nil
 	ss.respIsPrealloc = false
@@ -346,6 +367,15 @@ func (c *ReqContext) AllocResponse(n int) []byte {
 	case usePrealloc:
 		if ss.prealloc == nil {
 			ss.prealloc = msgbuf.NewBuf(r.dataPerPkt, r.dataPerPkt)
+		}
+		if ss.prealloc.TXRefs() > 0 {
+			// The slot's previous response still sits in the TX batch
+			// as a zero-copy alias of this same preallocated buffer;
+			// unlike pooled buffers it is reused in place, so flush
+			// before Resize/zeroing can clobber the queued bytes.
+			// (usePrealloc implies !inWorker: dispatch context, where
+			// flushing is safe.)
+			r.flushTX()
 		}
 		if !c.inWorker {
 			r.charge(r.cost.RespPrep)

@@ -10,10 +10,15 @@ import (
 // datagram — the "before") and over the gso engine (same syscall
 // batching, plus UDP_SEGMENT supersegments on TX and UDP_GRO
 // coalescing on RX, so a same-peer run of a burst traverses the stack
-// once — the "after"). Zero-copy TX rides along on both engines: the
-// client's request packet-0 frames alias the msgbuf end to end, which
-// the rows report as zero_copy_tx_per_op. cmd/erpc-bench -gso records
-// the sweep in BENCH_gso.json.
+// once — the "after"). Zero-copy rides along end to end: on TX both
+// engines alias packet-0 frames — the client's request AND the
+// server's response — straight from the msgbuf (zero_copy_tx_per_op,
+// 2.0 when every echo round trip avoids both copies), and on RX the
+// gso engine splits each GRO supersegment into frames that alias the
+// refcounted receive buffer instead of copying every segment out
+// (gro_aliased_segs, with gro_copied_segs counting the budget-
+// exhausted fallback). cmd/erpc-bench -gso records the sweep in
+// BENCH_gso.json.
 //
 // Syscalls/op is the controlled measure here too, and it captures the
 // GRO half directly: a supersegment crossing loopback is delivered
@@ -60,9 +65,10 @@ func GsoSweep(opts Options, printf func(format string, a ...any)) (mmsg, gso []U
 				best = m
 			}
 		}
-		printf("engine=%-10s window=%-2d  %8.1f krps  %6.2f syscalls/op  %6d gso segs  %5d gro batches  %.2f zc-tx/op (best of %d)\n",
+		printf("engine=%-10s window=%-2d  %8.1f krps  %6.2f syscalls/op  %6d gso segs  %5d gro batches  %6d aliased segs  %.2f zc-tx/op (best of %d)\n",
 			best.Engine, best.Window, best.Krps, best.SyscallsPerOp,
-			best.GsoSegments, best.GroBatches, best.ZeroCopyTxPerOp, reps)
+			best.GsoSegments, best.GroBatches, best.GroAliasedSegs,
+			best.ZeroCopyTxPerOp, reps)
 		best.BestOf = reps
 		return best
 	}

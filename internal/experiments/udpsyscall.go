@@ -50,9 +50,18 @@ type UDPSyscallResult struct {
 	// TX supersegments and supersegments received GRO-coalesced.
 	GsoSegments uint64 `json:"gso_segments,omitempty"`
 	GroBatches  uint64 `json:"gro_batches,omitempty"`
-	// ZeroCopyTxPerOp is the client's msgbuf-aliased (uncopied) TX
-	// frames per completed RPC — 1.0 when every request rode the
-	// zero-copy path.
+	// GroAliasedSegs/GroCopiedSegs split the RX side of a coalesced
+	// receive (gso engine only): segments handed to the datapath as
+	// frames aliasing the refcounted supersegment buffer versus
+	// segments copied out to pooled buffers (the fallback when the
+	// alias budget is exhausted). A healthy run keeps the copied count
+	// at zero.
+	GroAliasedSegs uint64 `json:"gro_aliased_segs,omitempty"`
+	GroCopiedSegs  uint64 `json:"gro_copied_segs,omitempty"`
+	// ZeroCopyTxPerOp is the msgbuf-aliased (uncopied) TX frames per
+	// completed RPC, summed over both endpoints — 2.0 when every
+	// request packet 0 (client) and every response packet 0 (server)
+	// rode the zero-copy path.
 	ZeroCopyTxPerOp float64 `json:"zero_copy_tx_per_op,omitempty"`
 	// BestOf is how many runs this row is the best of (see
 	// UDPSyscallSweep on loopback bimodality); 0 for a single run.
@@ -163,20 +172,27 @@ func udpEchoMeasure(newTr func(transport.Addr, string) (*transport.UDP, error), 
 	<-alloced
 	runN(warm)
 
-	// readZC snapshots the client's zero-copy TX counter on its own
-	// dispatch context (Stats is dispatch-goroutine state).
+	// readZC snapshots both endpoints' zero-copy TX counters on their
+	// own dispatch contexts (Stats is dispatch-goroutine state): the
+	// client aliases request packet 0, the server response packet 0,
+	// so the end-to-end path measures 2 aliased frames per echo RPC.
+	srv := server.Rpc(0)
 	readZC := func() uint64 {
-		var v uint64
-		done := make(chan struct{})
-		r.Post(func() { v = r.Stats.ZeroCopyTx; close(done) })
-		<-done
-		return v
+		var cli, rsp uint64
+		cliDone, srvDone := make(chan struct{}), make(chan struct{})
+		r.Post(func() { cli = r.Stats.ZeroCopyTx; close(cliDone) })
+		srv.Post(func() { rsp = srv.Stats.ZeroCopyTx; close(srvDone) })
+		<-cliDone
+		<-srvDone
+		return cli + rsp
 	}
 
 	sys0 := srvTr.Syscalls.Load() + cliTr.Syscalls.Load()
 	bat0 := srvTr.MmsgBatches.Load() + cliTr.MmsgBatches.Load()
 	seg0 := srvTr.GsoSegments.Load() + cliTr.GsoSegments.Load()
 	gro0 := srvTr.GroBatches.Load() + cliTr.GroBatches.Load()
+	ali0 := srvTr.GroAliasedSegs.Load() + cliTr.GroAliasedSegs.Load()
+	cop0 := srvTr.GroCopiedSegs.Load() + cliTr.GroCopiedSegs.Load()
 	zc0 := readZC()
 	t0 := time.Now()
 	runN(total - warm)
@@ -193,6 +209,10 @@ func udpEchoMeasure(newTr func(transport.Addr, string) (*transport.UDP, error), 
 		Completed:   measured,
 		GsoSegments: srvTr.GsoSegments.Load() + cliTr.GsoSegments.Load() - seg0,
 		GroBatches:  srvTr.GroBatches.Load() + cliTr.GroBatches.Load() - gro0,
+		GroAliasedSegs: srvTr.GroAliasedSegs.Load() +
+			cliTr.GroAliasedSegs.Load() - ali0,
+		GroCopiedSegs: srvTr.GroCopiedSegs.Load() +
+			cliTr.GroCopiedSegs.Load() - cop0,
 	}
 	if wall > 0 {
 		res.Krps = float64(measured) / wall.Seconds() / 1e3

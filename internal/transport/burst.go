@@ -49,6 +49,11 @@ type Frame struct {
 	// Release then takes the pool's mutex-guarded slow path; use
 	// ReleaseBurst to amortize that lock over a whole burst.
 	shared bool
+	// seg, when non-nil, marks an RX frame whose Data aliases one
+	// segment of a refcounted GRO supersegment buffer (pool is nil for
+	// these frames). Release drops one reference; the last segment
+	// released recycles the whole SegBuf.
+	seg *SegBuf
 }
 
 // PooledFrame binds a buffer to the pool it returns to on Release.
@@ -72,6 +77,10 @@ func SharedFrame(data []byte, from Addr, p *Pool) Frame {
 // path for cross-goroutine frames (see SharedFrame). Safe to call on a
 // zero or already-released frame.
 func (f *Frame) Release() {
+	if f.seg != nil {
+		f.seg.release()
+		f.seg = nil
+	}
 	if f.pool != nil {
 		buf := f.base
 		if buf == nil {
@@ -98,15 +107,17 @@ func (f *Frame) Release() {
 func ReleaseBurst(frames []Frame) {
 	for i := 0; i < len(frames); {
 		f := &frames[i]
-		if f.pool == nil || !f.shared {
+		if f.pool == nil || !f.shared || f.seg != nil {
 			f.Release()
 			i++
 			continue
 		}
 		// Coalesce the run of shared frames bound for the same pool.
+		// Supersegment aliases (seg != nil) are excluded: their release
+		// is an atomic refcount drop, not a buffer return.
 		p := f.pool
 		j := i
-		for j < len(frames) && frames[j].pool == p && frames[j].shared {
+		for j < len(frames) && frames[j].pool == p && frames[j].shared && frames[j].seg == nil {
 			j++
 		}
 		p.putSharedBatch(frames[i:j])

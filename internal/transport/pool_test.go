@@ -124,27 +124,37 @@ func BenchmarkPoolGetPut(b *testing.B) {
 	}
 }
 
-// TestReleaseBurstMixedFrames releases bursts that mix all three frame
+// TestReleaseBurstMixedFrames releases bursts that mix all four frame
 // flavors the datapath produces — owner-path pooled frames (same
 // goroutine as the pool owner), shared-release frames bound for a pool
-// owned by another goroutine, and unpooled zero-copy aliases (the TX
+// owned by another goroutine, unpooled zero-copy aliases (the TX
 // batch's msgbuf-backed frames, whose Release must touch no pool at
-// all) — while the foreign pool's owner hammers its lock-free fast
-// path. Run under -race this pins the ownership rules: ReleaseBurst
-// must route each flavor down its own path, coalesce only the shared
-// runs, and leave aliased bytes untouched.
+// all), and refcounted GRO segment frames aliasing a supersegment
+// buffer whose remaining references are dropped concurrently by a
+// foreign goroutine — while the foreign pool's owner hammers its
+// lock-free fast path. Run under -race this pins the ownership rules:
+// ReleaseBurst must route each flavor down its own path, coalesce only
+// the shared runs, leave aliased bytes untouched, and recycle each
+// supersegment exactly once.
 func TestReleaseBurstMixedFrames(t *testing.T) {
 	pOwn := NewPool(128, 256)     // owned by this goroutine
 	pForeign := NewPool(128, 256) // owned by the reader goroutine below
+	sp := newSegPool(256, 8)      // GRO supersegment pool
 
 	stop := make(chan struct{})
 	done := make(chan struct{})
-	go func() { // foreign pool's owner: lock-free Get/Put + refills
+	segCh := make(chan Frame, 64) // seg frames released on the foreign side
+	go func() {                   // foreign pool's owner: lock-free Get/Put + refills
 		defer close(done)
 		for {
 			select {
 			case <-stop:
+				for f := range segCh {
+					f.Release()
+				}
 				return
+			case f := <-segCh:
+				f.Release()
 			default:
 			}
 			b := pForeign.Get()
@@ -159,24 +169,40 @@ func TestReleaseBurstMixedFrames(t *testing.T) {
 
 	const rounds = 5_000
 	for i := 0; i < rounds; i++ {
+		// A refcounted supersegment: one segment frame rides in this
+		// burst, the other is released by the foreign goroutine —
+		// whichever reference drops last must do the (single) recycle.
+		sb := sp.get()
+		sb.refs.Store(2)
+		sp.outstanding.Add(1)
+		segCh <- Frame{Data: sb.buf[:32], Addr: Addr{4, 0}, seg: sb}
 		burst := []Frame{
 			PooledFrame(pOwn.Get(), Addr{1, 0}, pOwn),
 			SharedFrame(pForeign.GetShared(), Addr{2, 0}, pForeign),
 			{Data: alias, Addr: Addr{3, 0}}, // zero-copy alias: no pool
 			SharedFrame(pForeign.GetShared(), Addr{2, 1}, pForeign),
+			{Data: sb.buf[32:64], Addr: Addr{4, 1}, seg: sb}, // GRO segment
 			SharedFrame(pForeign.GetShared(), Addr{2, 2}, pForeign),
 			PooledFrame(pOwn.Get(), Addr{1, 1}, pOwn),
 			{Data: alias[32:], Addr: Addr{3, 1}},
 		}
 		ReleaseBurst(burst)
 		for j := range burst {
-			if burst[j].Data != nil || burst[j].pool != nil || burst[j].shared {
+			if burst[j].Data != nil || burst[j].pool != nil || burst[j].shared || burst[j].seg != nil {
 				t.Fatalf("round %d: frame %d not cleared by ReleaseBurst: %+v", i, j, burst[j])
 			}
 		}
 	}
+	close(segCh)
 	close(stop)
 	<-done
+
+	if got := sp.recycles.Load(); got != rounds {
+		t.Fatalf("supersegments recycled %d times, want exactly %d (once per round)", got, rounds)
+	}
+	if got := sp.outstanding.Load(); got != 0 {
+		t.Fatalf("%d supersegments still outstanding after all releases", got)
+	}
 
 	for i := range alias {
 		if alias[i] != byte(i) {

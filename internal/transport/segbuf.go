@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the refcounted half of the GRO receive path (paper
+// Appendix C, completing zero-copy on RX): a SegBuf is one engine-owned
+// supersegment buffer whose segments are handed to the RX ring as
+// frames *aliasing* the buffer at the cmsg stride, instead of being
+// copied into per-packet pooled buffers. The buffer recycles when the
+// last segment frame is released — the descriptor-refcount idiom NICs
+// use for header/data split receives.
+//
+// The types are portable (no build tags) so the split logic and its
+// lifetime rules are exercised by tests and fuzzing on every platform,
+// even though only the Linux gso engine produces SegBufs today.
+
+// SegBuf is a refcounted supersegment receive buffer. The reader
+// goroutine fills buf with one (possibly GRO-coalesced) datagram, then
+// splitRxSegs charges refs with the number of segment frames handed
+// out; each Frame.Release drops one reference and the last one returns
+// the SegBuf to its pool.
+type SegBuf struct {
+	buf  []byte
+	refs atomic.Int32
+	sp   *segPool
+}
+
+// release drops one segment reference, recycling the SegBuf when it
+// was the last. Safe from any goroutine.
+func (sb *SegBuf) release() {
+	if sb.refs.Add(-1) == 0 {
+		sb.sp.put(sb)
+	}
+}
+
+// segPool recycles SegBufs between the reader goroutine (get) and
+// whichever goroutine releases the last segment frame (put). Unlike
+// Pool there is no owner fast path: a SegBuf crosses goroutines once
+// per supersegment lifecycle — dozens of datagrams — so one mutex
+// acquisition per recycle is already amortized far below one per
+// packet.
+type segPool struct {
+	bufCap int
+	limit  int32 // max SegBufs outstanding as RX-frame aliases
+
+	// outstanding counts SegBufs currently aliased by RX frames; when
+	// it reaches limit the split falls back to copying, bounding the
+	// memory a slow consumer can pin (limit × bufCap bytes).
+	outstanding atomic.Int32
+
+	news     atomic.Uint64 // SegBufs allocated because free ran dry
+	recycles atomic.Uint64 // SegBufs returned by a last-reference release
+
+	mu   sync.Mutex
+	free []*SegBuf
+}
+
+func newSegPool(bufCap int, limit int32) *segPool {
+	// The free list holds every SegBuf the engine can have in flight:
+	// up to limit aliased ones plus the posted receive window. Beyond
+	// that, put drops to the GC rather than growing.
+	return &segPool{
+		bufCap: bufCap,
+		limit:  limit,
+		free:   make([]*SegBuf, 0, int(limit)+16),
+	}
+}
+
+// get returns a SegBuf for the reader to post to the kernel. Reader
+// goroutine only.
+func (sp *segPool) get() *SegBuf {
+	sp.mu.Lock()
+	if n := len(sp.free); n > 0 {
+		sb := sp.free[n-1]
+		sp.free[n-1] = nil
+		sp.free = sp.free[:n-1]
+		sp.mu.Unlock()
+		return sb
+	}
+	sp.mu.Unlock()
+	sp.news.Add(1)
+	return &SegBuf{buf: make([]byte, sp.bufCap), sp: sp}
+}
+
+// canAlias reports whether another SegBuf may be handed out as RX
+// aliases without exceeding the outstanding-memory bound.
+func (sp *segPool) canAlias() bool { return sp.outstanding.Load() < sp.limit }
+
+// put recycles a SegBuf whose last segment reference was released.
+func (sp *segPool) put(sb *SegBuf) {
+	sp.outstanding.Add(-1)
+	sp.recycles.Add(1)
+	sp.mu.Lock()
+	if len(sp.free) < cap(sp.free) {
+		sp.free = append(sp.free, sb)
+	}
+	sp.mu.Unlock()
+}
+
+// splitRxSegs splits one received wire buffer — a GRO-coalesced
+// supersegment, or a plain datagram — into RX ring entries at the
+// given segment stride and reports how many segments it saw and
+// whether the SegBuf was handed out aliased (the caller must then stop
+// touching it and post a fresh one to the kernel).
+//
+// A coalesced receive (two or more segments) is handed out zero-copy:
+// the SegBuf's refcount is charged with the number of valid segments
+// *before* any frame is published to the ring, so a dispatch-side
+// Release racing the rest of the split can never drop the count to
+// zero early. Uncoalesced datagrams keep the pooled-copy path — there
+// is no per-datagram stack traversal to amortize, and aliasing would
+// pin a whole supersegment buffer per small packet — as does alias-
+// budget overflow (see segPool.limit).
+//
+// The split is deliberately paranoid about kernel-reported geometry,
+// since stride and length arrive from outside the process: a
+// non-positive or oversized stride degrades to one whole-buffer
+// segment, a short trailing segment is clamped to the receive length,
+// segments shorter than the wire prefix are dropped, and a length
+// beyond the buffer drops the receive outright.
+func (u *UDP) splitRxSegs(sb *SegBuf, ln, stride int) (nseg int, aliased bool) {
+	if sb == nil || ln <= 0 || ln > len(sb.buf) {
+		return 0, false
+	}
+	if stride <= 0 || stride > ln {
+		stride = ln
+	}
+	total := (ln + stride - 1) / stride
+	if total >= 2 && sb.sp != nil && sb.sp.canAlias() {
+		valid := 0
+		for off := 0; off < ln; off += stride {
+			if min(off+stride, ln)-off >= udpHdrLen {
+				valid++
+			}
+		}
+		if valid > 0 {
+			sb.refs.Store(int32(valid))
+			sb.sp.outstanding.Add(1)
+			u.GroAliasedSegs.Add(uint64(valid))
+			for off := 0; off < ln; off += stride {
+				pkt := sb.buf[off:min(off+stride, ln)]
+				if len(pkt) < udpHdrLen {
+					continue
+				}
+				u.enqueueSeg(sb, pkt[udpHdrLen:], parseHdr(pkt))
+			}
+			return total, true
+		}
+		return total, false
+	}
+	for off := 0; off < ln; off += stride {
+		pkt := sb.buf[off:min(off+stride, ln)]
+		if len(pkt) < udpHdrLen {
+			continue
+		}
+		pb := u.rxPool.Get()
+		if len(pkt) > cap(pb) {
+			u.rxPool.Put(pb)
+			continue // oversized foreign datagram
+		}
+		if total >= 2 {
+			u.GroCopiedSegs.Add(1)
+		}
+		pb = pb[:len(pkt)]
+		copy(pb, pkt)
+		u.enqueue(pb, pb[udpHdrLen:], parseHdr(pb))
+	}
+	return total, false
+}

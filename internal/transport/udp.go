@@ -107,6 +107,16 @@ type UDP struct {
 	// segments, which is the cost the engine exists to amortize.
 	GsoSegments atomic.Uint64
 	GroBatches  atomic.Uint64
+
+	// GroAliasedSegs counts segments of coalesced receives delivered as
+	// zero-copy aliases of their refcounted supersegment buffer, and
+	// GroCopiedSegs counts segments of coalesced receives that fell
+	// back to a pooled copy (alias budget exhausted). Together they
+	// verify the zero-copy GRO split: a healthy gso datapath keeps
+	// GroCopiedSegs at zero. Uncoalesced datagrams (nothing to
+	// amortize) count under neither.
+	GroAliasedSegs atomic.Uint64
+	GroCopiedSegs  atomic.Uint64
 }
 
 // udpEngine is the socket-I/O strategy: how bursts reach the kernel
@@ -135,11 +145,14 @@ type udpDest struct {
 
 // udpPkt is one RX ring slot. buf is the pooled wire buffer (including
 // the 4-byte source prefix) that returns to the pool on Release; data
-// is the frame payload aliasing buf's tail.
+// is the frame payload aliasing buf's tail. When seg is non-nil the
+// packet instead aliases one segment of a refcounted GRO supersegment
+// (buf is nil) and releasing it drops one SegBuf reference.
 type udpPkt struct {
 	buf  []byte
 	data []byte
 	from Addr
+	seg  *SegBuf
 }
 
 // DefaultUDPMTU bounds frames to a safe datagram size.
@@ -440,18 +453,34 @@ func parseHdr(buf []byte) Addr {
 // empty→non-empty transition. buf is the pooled wire buffer that
 // Release re-posts; data is the frame payload aliasing it.
 func (u *UDP) enqueue(buf, data []byte, from Addr) {
+	u.enqueuePkt(udpPkt{buf: buf, data: data, from: from})
+}
+
+// enqueueSeg pushes one segment of a refcounted GRO supersegment into
+// the RX ring: data aliases sb's buffer past the wire prefix, and the
+// slot carries one of sb's pre-charged references (dropped on overflow,
+// released with the frame otherwise).
+func (u *UDP) enqueueSeg(sb *SegBuf, data []byte, from Addr) {
+	u.enqueuePkt(udpPkt{seg: sb, data: data, from: from})
+}
+
+func (u *UDP) enqueuePkt(p udpPkt) {
 	u.mu.Lock()
 	var wake func()
 	if u.tail-u.head >= udpRingCap {
 		u.Drops++
 		u.mu.Unlock()
-		u.rxPool.Put(buf)
+		if p.seg != nil {
+			p.seg.release()
+		} else {
+			u.rxPool.Put(p.buf)
+		}
 		return
 	}
 	if u.tail == u.head {
 		wake = u.wake
 	}
-	u.ring[u.tail&udpRingMask] = udpPkt{buf: buf, data: data, from: from}
+	u.ring[u.tail&udpRingMask] = p
 	u.tail++
 	u.mu.Unlock()
 	if wake != nil {
@@ -470,7 +499,11 @@ func (u *UDP) RecvBurst(frames []Frame) int {
 	n := 0
 	for n < len(frames) && u.head != u.tail {
 		p := &u.ring[u.head&udpRingMask]
-		frames[n] = Frame{Data: p.data, Addr: p.from, pool: u.rxPool, base: p.buf, shared: true}
+		if p.seg != nil {
+			frames[n] = Frame{Data: p.data, Addr: p.from, seg: p.seg}
+		} else {
+			frames[n] = Frame{Data: p.data, Addr: p.from, pool: u.rxPool, base: p.buf, shared: true}
+		}
 		*p = udpPkt{}
 		u.head++
 		n++
@@ -495,7 +528,11 @@ func (u *UDP) Recv() ([]byte, Addr, bool) {
 	u.mu.Unlock()
 	out := make([]byte, len(p.data))
 	copy(out, p.data)
-	u.rxPool.PutShared(p.buf) // caller is not the pool-owning reader
+	if p.seg != nil {
+		p.seg.release() // supersegment alias: drop its reference
+	} else {
+		u.rxPool.PutShared(p.buf) // caller is not the pool-owning reader
+	}
 	return out, p.from, true
 }
 

@@ -26,10 +26,13 @@ package transport
 //     datagrams (in particular whole TX supersegments crossing
 //     loopback, which are never segmented at all) arrive as one
 //     coalesced buffer plus a cmsg segment size. The reader splits the
-//     supersegment back into pooled wire buffers at that stride and
-//     enqueues each as a normal RX frame. The split copies each
-//     segment once — the price of receiving many datagrams per stack
-//     traversal — but allocates nothing in steady state.
+//     supersegment at that stride into RX frames that *alias* the
+//     refcounted supersegment buffer (SegBuf) — zero-copy all the way
+//     to the dispatch loop, completing Appendix C on RX — and the
+//     buffer recycles when the last segment frame is released.
+//     Uncoalesced datagrams are copied into pooled wire buffers as
+//     before (nothing to amortize); either way the steady state
+//     allocates nothing.
 //
 // The engine is compiled out with the `nogso` build tag (CI runs
 // -tags=nogso and -tags=nommsg,nogso legs) and skipped at runtime when
@@ -76,6 +79,12 @@ const (
 	// recvmmsg; each holds up to a whole 64 KiB supersegment.
 	gsoRxWindow = 8
 	gsoRxBufCap = 1 << 16
+
+	// gsoAliasLimit bounds supersegment buffers outstanding as
+	// zero-copy RX aliases (see segPool): a consumer that sits on
+	// frames can pin at most gsoAliasLimit × gsoRxBufCap (4 MiB)
+	// before the split degrades to copying.
+	gsoAliasLimit = 64
 
 	// gsoCtrlSpace is the per-message control-buffer stride, 8-aligned
 	// and large enough for one UDP_SEGMENT/UDP_GRO cmsg.
@@ -146,12 +155,16 @@ type gsoEngine struct {
 	segErrno syscall.Errno
 	segFn    func(fd uintptr) bool // preallocated: rc.Write closure
 
-	// RX state, owned by the reader goroutine. rbufs are engine-owned
-	// supersegment buffers: every segment is copied out into a pooled
-	// wire buffer before the next recvmmsg, so they recycle in place.
+	// RX state, owned by the reader goroutine. rsegs are the posted
+	// refcounted supersegment buffers: a coalesced receive is handed
+	// to the RX ring as zero-copy segment aliases of its SegBuf (the
+	// slot then posts a fresh one from segs), while an uncoalesced
+	// datagram is copied into a pooled wire buffer and the slot's
+	// SegBuf recycles in place.
 	rhdrs   []mmsghdr
 	riovs   []syscall.Iovec
-	rbufs   [][]byte
+	rsegs   []*SegBuf
+	segs    *segPool
 	rctrl   []byte
 	rxN     int
 	rxErrno syscall.Errno
@@ -186,15 +199,13 @@ func newGsoEngine(u *UDP) udpEngine {
 		wireCap:  1 << 30, // no learned ceiling yet
 		rhdrs:    make([]mmsghdr, gsoRxWindow),
 		riovs:    make([]syscall.Iovec, gsoRxWindow),
-		rbufs:    make([][]byte, gsoRxWindow),
+		rsegs:    make([]*SegBuf, gsoRxWindow),
+		segs:     newSegPool(gsoRxBufCap, gsoAliasLimit),
 		rctrl:    make([]byte, gsoCtrlSpace*gsoRxWindow),
 	}
 	u.putHdr(e.prefix[:])
-	for i := range e.rbufs {
-		b := make([]byte, gsoRxBufCap)
-		e.rbufs[i] = b
-		e.riovs[i].Base = &b[0]
-		e.riovs[i].SetLen(len(b))
+	for i := range e.rsegs {
+		e.postSeg(i)
 	}
 	// Closures built once, like the mmsg engine: rc.Read/rc.Write take
 	// func values and a per-burst closure would heap-allocate on the
@@ -425,15 +436,30 @@ func (e *gsoEngine) groSegSize(i int) int {
 	return int(*(*int32)(unsafe.Pointer(&cb[syscall.CmsgLen(0)])))
 }
 
+// postSeg posts a fresh supersegment buffer on RX window slot i.
+// Reader goroutine only (and engine construction).
+func (e *gsoEngine) postSeg(i int) {
+	sb := e.segs.get()
+	e.rsegs[i] = sb
+	e.riovs[i].Base = &sb.buf[0]
+	e.riovs[i].SetLen(len(sb.buf))
+}
+
 // readLoop is the reader-goroutine body: post the supersegment window,
 // pull as many (possibly GRO-coalesced) messages as one recvmmsg
-// yields, split each back into pooled wire buffers at the cmsg
-// stride, enqueue, repeat. The supersegment buffers never leave the
-// engine, so no refill bookkeeping is needed.
+// yields, split each back into RX frames at the cmsg stride (see
+// splitRxSegs: coalesced receives become zero-copy aliases of the
+// refcounted supersegment, uncoalesced datagrams are copied into
+// pooled wire buffers), repeat. A slot whose SegBuf was handed out
+// aliased posts a replacement from the seg pool; the original returns
+// there when its last segment frame is released.
 func (e *gsoEngine) readLoop() {
 	u := e.u
 	for {
 		for i := range e.rhdrs {
+			if e.rsegs[i] == nil {
+				e.postSeg(i)
+			}
 			h := &e.rhdrs[i]
 			h.hdr.Iov = &e.riovs[i]
 			h.hdr.Iovlen = 1
@@ -460,31 +486,9 @@ func (e *gsoEngine) readLoop() {
 		u.Syscalls.Add(1)
 		datagrams := 0
 		for i := 0; i < n; i++ {
-			ln := int(e.rhdrs[i].msgLen)
-			buf := e.rbufs[i][:ln]
-			seg := e.groSegSize(i)
-			if seg <= 0 {
-				seg = ln
-			}
-			nseg := 0
-			for off := 0; off < ln; off += seg {
-				end := off + seg
-				if end > ln {
-					end = ln
-				}
-				pkt := buf[off:end]
-				nseg++
-				if len(pkt) < udpHdrLen {
-					continue
-				}
-				pb := u.rxPool.Get()
-				if len(pkt) > cap(pb) {
-					u.rxPool.Put(pb)
-					continue // oversized foreign datagram
-				}
-				pb = pb[:len(pkt)]
-				copy(pb, pkt)
-				u.enqueue(pb, pb[udpHdrLen:], parseHdr(pb))
+			nseg, aliased := u.splitRxSegs(e.rsegs[i], int(e.rhdrs[i].msgLen), e.groSegSize(i))
+			if aliased {
+				e.rsegs[i] = nil
 			}
 			datagrams += nseg
 			if nseg > 1 {

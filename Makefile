@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-quick fuzz fmt-check ci test-nommsg test-nogso test-nommsg-nogso
+.PHONY: build test race vet bench bench-quick fuzz fmt-check ci test-nommsg test-nogso test-nommsg-nogso test-debug
 
 # The portable per-packet UDP engine, forced on Linux via the nommsg
 # build tag (CI runs this so the fallback cannot rot).
@@ -24,8 +24,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# vet runs the standard vet checks plus erpcvet, the in-tree analyzer
+# suite that enforces the zero-copy ownership invariants (framerelease,
+# aliasflush, owner, syscallptr — see internal/analysis/).
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/erpcvet ./...
+
+# test-debug runs the whole suite with the erpcdebug runtime sanitizer
+# compiled in (double-put / foreign-put / SegBuf-refcount assertions in
+# the transport pools) under the race detector — the CI sanitizer leg.
+test-debug:
+	$(GO) test -tags erpcdebug -race ./...
 
 # bench regenerates the recorded benchmark artifacts: BENCH_datapath.json
 # (the burst-datapath multicore sweep: simulated Mrps, wall seconds and
@@ -60,4 +70,4 @@ fuzz:
 	$(GO) test -fuzz FuzzProcessPkt -fuzztime 30s ./internal/core/
 	$(GO) test -fuzz FuzzRxBurst -fuzztime 30s ./internal/core/
 
-ci: fmt-check build vet race test-nommsg test-nogso test-nommsg-nogso
+ci: fmt-check build vet race test-debug test-nommsg test-nogso test-nommsg-nogso

@@ -22,6 +22,9 @@ import (
 // per-packet fallback (its mmsghdr/iovec arrays and syscall closures
 // are preallocated at engine construction).
 func TestSmallRPCAllocFree(t *testing.T) {
+	if transport.DebugEnabled {
+		t.Skip("erpcdebug sanitizer bookkeeping allocates; zero-alloc contract holds in release builds only")
+	}
 	for _, engine := range udpEngines() {
 		t.Run(engine, func(t *testing.T) { runSmallRPCAllocFree(t, engine) })
 	}

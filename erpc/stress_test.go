@@ -150,16 +150,16 @@ func runUDPAdversity(t *testing.T, engine string) {
 	// burst datapath: the core's TX batches go through Faulty.SendBurst
 	// and must have carried multi-frame bursts (multi-packet requests
 	// send several data packets per event-loop iteration).
-	if cliFault.Drops == 0 || cliFault.Dups == 0 || cliFault.Reorders == 0 {
+	if cliFault.Drops.Load() == 0 || cliFault.Dups.Load() == 0 || cliFault.Reorders.Load() == 0 {
 		t.Fatalf("fault injector idle: drops=%d dups=%d reorders=%d",
-			cliFault.Drops, cliFault.Dups, cliFault.Reorders)
+			cliFault.Drops.Load(), cliFault.Dups.Load(), cliFault.Reorders.Load())
 	}
 	if client.Stats().Retransmits == 0 {
 		t.Fatal("expected go-back-N retransmissions under injected loss")
 	}
 	cs := client.Stats()
-	if cs.TxBursts == 0 || cliFault.Bursts == 0 {
-		t.Fatalf("burst path idle: client TxBursts=%d, faulty SendBursts=%d", cs.TxBursts, cliFault.Bursts)
+	if cs.TxBursts == 0 || cliFault.Bursts.Load() == 0 {
+		t.Fatalf("burst path idle: client TxBursts=%d, faulty SendBursts=%d", cs.TxBursts, cliFault.Bursts.Load())
 	}
 	if cs.PktsTx <= cs.TxBursts {
 		t.Fatalf("no multi-frame bursts: %d packets in %d bursts", cs.PktsTx, cs.TxBursts)

@@ -1,0 +1,318 @@
+// Package aliasflush checks the zero-copy TX aliasing rule: once a
+// msgbuf has been pinned for transmission (RetainTX), the TX batch
+// holds an alias into its storage, so freeing or resizing it before a
+// flush is a use-after-free in waiting — the exact class of bug the
+// slot-reuse and prealloc-reuse fixes addressed.
+//
+// The analyzer taints struct fields that ever hold a TX-retained
+// msgbuf: receivers of RetainTX calls, arguments to same-package
+// functions that RetainTX a parameter (e.g. rawSendZC), and — by
+// fixpoint over field-to-field assignments — every field aliasing one
+// of those. A call that frees ((*msgbuf.Allocator).Free) or reuses
+// ((*msgbuf.Buf).Resize) a tainted field is flagged unless the call is
+// dominated by a flush (//erpc:flush, or core's flushTX) or the
+// function guards the same field with a TXRefs() check.
+package aliasflush
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags frees/reuses of TX-retained msgbuf fields that are
+// not flush-dominated or TXRefs-guarded.
+var Analyzer = &analysis.Analyzer{
+	Name: "aliasflush",
+	Doc:  "flag msgbuf free/reuse of TX-retained buffers not dominated by a flush",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	dirs := analysis.FuncDirectives(pass)
+	retaining := retainingFuncs(pass)
+	tainted := taintedFields(pass, retaining)
+	if len(tainted) == 0 {
+		return nil
+	}
+
+	isFlushCall := func(call *ast.CallExpr) bool {
+		obj := analysis.CalleeObj(pass.TypesInfo, call)
+		if obj == nil {
+			return false
+		}
+		return dirs[obj]["flush"] || obj.Name() == "flushTX"
+	}
+
+	for _, fi := range analysis.Functions(pass) {
+		// Sites to check: free/reuse of a tainted field in this body.
+		type site struct {
+			call  *ast.CallExpr
+			field *types.Var
+			verb  string
+		}
+		var sites []site
+		guarded := map[*types.Var]bool{}
+		analysis.InspectShallow(fi.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := analysis.CalleeObj(pass.TypesInfo, call)
+			if obj == nil {
+				return true
+			}
+			switch {
+			case analysis.MethodOn(obj, "internal/msgbuf", "Allocator", "Free") && len(call.Args) == 1:
+				if fld := taintedFieldOf(pass, call.Args[0], tainted); fld != nil {
+					sites = append(sites, site{call, fld, "freed"})
+				}
+			case analysis.MethodOn(obj, "internal/msgbuf", "Buf", "Resize"):
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if fld := taintedFieldOf(pass, sel.X, tainted); fld != nil {
+						sites = append(sites, site{call, fld, "resized for reuse"})
+					}
+				}
+			case analysis.MethodOn(obj, "internal/msgbuf", "Buf", "TXRefs"):
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if fld := fieldOf(pass, sel.X); fld != nil {
+						guarded[fld] = true
+					}
+				}
+			}
+			return true
+		})
+		if len(sites) == 0 {
+			continue
+		}
+		flushed := flushDominance(fi.Body, isFlushCall)
+		for _, s := range sites {
+			if guarded[s.field] || flushed[s.call] {
+				continue
+			}
+			pass.Reportf(s.call.Pos(),
+				"%s may hold a TX-retained msgbuf alias and is %s without a dominating flush or TXRefs guard",
+				s.field.Name(), s.verb)
+		}
+	}
+	return nil
+}
+
+// retainingFuncs maps same-package function objects to the set of
+// parameter indices they RetainTX (directly, in their own body).
+func retainingFuncs(pass *analysis.Pass) map[types.Object]map[int]bool {
+	out := map[types.Object]map[int]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			params := map[types.Object]int{}
+			i := 0
+			if fd.Type.Params != nil {
+				for _, fld := range fd.Type.Params.List {
+					for _, name := range fld.Names {
+						params[pass.TypesInfo.Defs[name]] = i
+						i++
+					}
+					if len(fld.Names) == 0 {
+						i++
+					}
+				}
+			}
+			analysis.InspectShallow(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := analysis.CalleeObj(pass.TypesInfo, call)
+				if callee == nil || !analysis.MethodOn(callee, "internal/msgbuf", "Buf", "RetainTX") {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if idx, isParam := params[pass.TypesInfo.Uses[id]]; isParam {
+						set := out[obj]
+						if set == nil {
+							set = map[int]bool{}
+							out[obj] = set
+						}
+						set[idx] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// taintedFields computes the set of struct fields that may hold a
+// TX-retained msgbuf: seeded from RetainTX receivers and retaining-call
+// arguments, closed under field-to-field assignment aliasing.
+func taintedFields(pass *analysis.Pass, retaining map[types.Object]map[int]bool) map[*types.Var]bool {
+	tainted := map[*types.Var]bool{}
+	// Alias pairs from assignments A.f = B.g (either direction).
+	type pair struct{ a, b *types.Var }
+	var aliases []pair
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				obj := analysis.CalleeObj(pass.TypesInfo, n)
+				if obj == nil {
+					return true
+				}
+				if analysis.MethodOn(obj, "internal/msgbuf", "Buf", "RetainTX") {
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+						if fld := fieldOf(pass, sel.X); fld != nil {
+							tainted[fld] = true
+						}
+					}
+				}
+				if idxs, ok := retaining[obj]; ok {
+					for idx := range idxs {
+						if idx < len(n.Args) {
+							if fld := fieldOf(pass, n.Args[idx]); fld != nil {
+								tainted[fld] = true
+							}
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					lf, rf := fieldOf(pass, n.Lhs[i]), fieldOf(pass, n.Rhs[i])
+					if lf != nil && rf != nil && lf != rf {
+						aliases = append(aliases, pair{lf, rf})
+					}
+				}
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range aliases {
+			if tainted[p.a] != tainted[p.b] {
+				tainted[p.a], tainted[p.b] = true, true
+				changed = true
+			}
+		}
+	}
+	return tainted
+}
+
+// fieldOf resolves e to the struct field it selects (X.f with f a
+// field), or nil.
+func fieldOf(pass *analysis.Pass, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+func taintedFieldOf(pass *analysis.Pass, e ast.Expr, tainted map[*types.Var]bool) *types.Var {
+	fld := fieldOf(pass, e)
+	if fld != nil && tainted[fld] {
+		return fld
+	}
+	return nil
+}
+
+// flushDominance computes, per call node in body, whether every path
+// from the function entry to that call passes a flush call first.
+func flushDominance(body *ast.BlockStmt, isFlush func(*ast.CallExpr) bool) map[*ast.CallExpr]bool {
+	cfg := analysis.BuildCFG(body)
+	if cfg.HasGoto {
+		return nil // cannot prove dominance; sites fall back to guards
+	}
+	// preds
+	preds := map[*analysis.Block][]*analysis.Block{}
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	in := map[*analysis.Block]bool{}
+	out := map[*analysis.Block]bool{}
+	// Must-analysis: start optimistic (true) everywhere except entry.
+	for _, b := range cfg.Blocks {
+		in[b], out[b] = true, true
+	}
+	in[cfg.Entry] = false
+
+	stmtHasFlush := func(s ast.Stmt) bool {
+		found := false
+		analysis.InspectShallow(s, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isFlush(call) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			i := true
+			if b == cfg.Entry {
+				i = false
+			} else if ps := preds[b]; len(ps) == 0 {
+				i = false // unreachable island: be conservative
+			} else {
+				for _, p := range ps {
+					i = i && out[p]
+				}
+			}
+			o := i
+			for _, s := range b.Stmts {
+				if stmtHasFlush(s) {
+					o = true
+				}
+			}
+			if i != in[b] || o != out[b] {
+				in[b], out[b] = i, o
+				changed = true
+			}
+		}
+	}
+
+	dom := map[*ast.CallExpr]bool{}
+	for _, b := range cfg.Blocks {
+		state := in[b]
+		for _, s := range b.Stmts {
+			s := s
+			analysis.InspectShallow(s, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					dom[call] = state
+				}
+				return true
+			})
+			if stmtHasFlush(s) {
+				state = true
+			}
+		}
+	}
+	return dom
+}

@@ -1,0 +1,12 @@
+package aliasflush_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/aliasflush"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAliasflush(t *testing.T) {
+	analysistest.Run(t, "testdata", aliasflush.Analyzer, "a", "clean")
+}

@@ -1,0 +1,57 @@
+// Package a exercises the aliasflush analyzer's flagged cases.
+package a
+
+import "repro/internal/msgbuf"
+
+var alloc = msgbuf.NewAllocator(1024)
+
+type slot struct {
+	req  *msgbuf.Buf
+	resp *msgbuf.Buf
+}
+
+type wheelEntry struct {
+	buf *msgbuf.Buf
+}
+
+// send pins the request for zero-copy TX: slot.req is tainted.
+func send(s *slot) {
+	s.req.RetainTX()
+}
+
+// resetSlot frees the pinned buffer with no flush and no TXRefs guard:
+// the TX batch still aliases its storage.
+func resetSlot(s *slot) {
+	alloc.Free(s.req) // want `TX-retained msgbuf alias`
+	s.req = nil
+}
+
+// reuseInPlace resizes the pinned buffer for the next message while
+// the old bytes may still be queued.
+func reuseInPlace(s *slot, n int) {
+	s.req.Resize(n) // want `TX-retained msgbuf alias`
+}
+
+// park aliases the pinned buffer into the wheel: wheelEntry.buf joins
+// the taint set.
+func park(s *slot, e *wheelEntry) {
+	e.buf = s.req
+}
+
+func dropParked(e *wheelEntry) {
+	alloc.Free(e.buf) // want `TX-retained msgbuf alias`
+}
+
+// retainParam pins its argument, like core's rawSendZC.
+func retainParam(b *msgbuf.Buf) {
+	b.RetainTX()
+}
+
+// sendResp taints slot.resp by passing it to a retaining function.
+func sendResp(s *slot) {
+	retainParam(s.resp)
+}
+
+func resetResp(s *slot) {
+	alloc.Free(s.resp) // want `TX-retained msgbuf alias`
+}

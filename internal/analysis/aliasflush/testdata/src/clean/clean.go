@@ -1,0 +1,72 @@
+// Package clean exercises the aliasflush analyzer's accepted patterns.
+package clean
+
+import "repro/internal/msgbuf"
+
+var alloc = msgbuf.NewAllocator(1024)
+
+type slot struct {
+	req     *msgbuf.Buf
+	scratch *msgbuf.Buf
+}
+
+var pending []*msgbuf.Buf
+
+func send(s *slot) {
+	s.req.RetainTX()
+}
+
+// flushTX drains the TX batch; by its builtin name it counts as a
+// flush even without the directive.
+func flushTX() {
+	for _, b := range pending {
+		b.ReleaseTX()
+	}
+	pending = pending[:0]
+}
+
+// drain is directive-marked as a flush.
+//
+//erpc:flush
+func drain() {
+	flushTX()
+}
+
+// guardedFree checks the refcount before freeing — the PR-6 fix shape.
+func guardedFree(s *slot) {
+	if s.req.TXRefs() > 0 {
+		pending = append(pending, s.req)
+	} else {
+		alloc.Free(s.req)
+	}
+	s.req = nil
+}
+
+// flushedFree is dominated by a flush on every path.
+func flushedFree(s *slot, hard bool) {
+	if hard {
+		drain()
+	} else {
+		flushTX()
+	}
+	alloc.Free(s.req)
+}
+
+// untaintedFree frees a field that never held a TX-retained buffer.
+func untaintedFree(s *slot) {
+	alloc.Free(s.scratch)
+}
+
+// guardedResize flushes first when the buffer is still pinned, then
+// reuses it in place.
+func guardedResize(s *slot, n int) {
+	if s.req.TXRefs() > 0 {
+		flushTX()
+	}
+	s.req.Resize(n)
+}
+
+// suppressedFree documents a teardown path where the transport is gone.
+func suppressedFree(s *slot) {
+	alloc.Free(s.req) //erpc:ignore transport closed; no TX batch can alias this buffer
+}

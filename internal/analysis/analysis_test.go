@@ -1,0 +1,108 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func loadSource(t *testing.T, src string) *analysis.Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.NewLoader().LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// reportAll flags every integer literal, giving the suppression tests
+// something to suppress.
+var reportAll = &analysis.Analyzer{
+	Name: "reportall",
+	Doc:  "test analyzer: reports every basic literal",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.BasicLit); ok {
+					pass.Reportf(lit.Pos(), "literal %s", lit.Value)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestIgnoreRequiresReason(t *testing.T) {
+	pkg := loadSource(t, `package p
+
+func f() int {
+	//erpc:ignore
+	return 1
+}
+`)
+	diags, err := analysis.Run(pkg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "requires a reason") {
+		t.Fatalf("want one missing-reason diagnostic, got %v", diags)
+	}
+}
+
+func TestIgnoreSuppressesOwnAndNextLine(t *testing.T) {
+	pkg := loadSource(t, `package p
+
+func f() int {
+	//erpc:ignore fixture value
+	return 1
+}
+
+func g() int {
+	return 2 //erpc:ignore another fixture value
+}
+
+func h() int {
+	return 3
+}
+`)
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{reportAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "literal 3") {
+		t.Fatalf("want only the unsuppressed literal 3, got %v", diags)
+	}
+}
+
+func TestMissingReasonDoesNotSuppress(t *testing.T) {
+	pkg := loadSource(t, `package p
+
+func f() int {
+	//erpc:ignore
+	return 1
+}
+`)
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{reportAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both the malformed-directive report and the (unsuppressed)
+	// literal report must surface.
+	var sawReason, sawLiteral bool
+	for _, d := range diags {
+		sawReason = sawReason || strings.Contains(d.Message, "requires a reason")
+		sawLiteral = sawLiteral || strings.Contains(d.Message, "literal 1")
+	}
+	if !sawReason || !sawLiteral {
+		t.Fatalf("want missing-reason and literal diagnostics, got %v", diags)
+	}
+}

@@ -1,0 +1,326 @@
+package analysis
+
+import "go/ast"
+
+// Block is one straight-line run of statements in a function's control
+// flow graph. Succs are the blocks control may transfer to afterwards;
+// a block with no successors (and no terminating return) falls off the
+// end of the function.
+type Block struct {
+	Stmts []ast.Stmt
+	Succs []*Block
+	// Return is set when the block ends in a return statement (the
+	// return itself is also the last entry of Stmts).
+	Return bool
+}
+
+// CFG is an intraprocedural control flow graph over the statements of
+// one function body, precise enough for the path-sensitive buffer
+// analyses: branches, loops, range, switch/type-switch/select, labeled
+// break/continue and fallthrough are modeled; goto is not (HasGoto is
+// set and callers skip the function).
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block
+	// Defers collects the call expressions of all defer statements in
+	// the body, in source order. Deferred releases run on every exit
+	// path, so the analyses treat them as function-wide effects.
+	Defers []*ast.CallExpr
+	// HasGoto reports a goto statement anywhere in the body; the CFG
+	// does not model its edge, so path-sensitive analyses must bail.
+	HasGoto bool
+}
+
+// loopFrame tracks the jump targets of the innermost enclosing
+// breakable/continuable constructs while building the graph.
+type loopFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil inside switch/select (continue skips them)
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	frames []loopFrame
+	// curLabel holds the label of a LabeledStmt while its underlying
+	// loop/switch is being built, so break/continue with that label
+	// resolve to the right frame.
+	curLabel string
+}
+
+// BuildCFG constructs the control flow graph of body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.stmts(body.List, b.cfg.Entry)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmts threads the statement list through the graph starting at cur,
+// returning the block live after the last statement (nil when control
+// cannot fall through, e.g. after return).
+func (b *cfgBuilder) stmts(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after return/branch; give it its own
+			// island block so its statements are still visited by
+			// whole-function scans, but keep it disconnected.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: s.Cond})
+		thenB := b.newBlock()
+		link(cur, thenB)
+		thenOut := b.stmts(s.Body.List, thenB)
+		var elseOut *Block
+		if s.Else != nil {
+			elseB := b.newBlock()
+			link(cur, elseB)
+			elseOut = b.stmt(s.Else, elseB)
+		}
+		after := b.newBlock()
+		link(thenOut, after)
+		if s.Else != nil {
+			link(elseOut, after)
+		} else {
+			link(cur, after) // condition false
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		head := b.newBlock()
+		link(cur, head)
+		if s.Cond != nil {
+			head.Stmts = append(head.Stmts, &ast.ExprStmt{X: s.Cond})
+		}
+		after := b.newBlock()
+		bodyB := b.newBlock()
+		link(head, bodyB)
+		if s.Cond != nil {
+			link(head, after) // condition false
+		}
+		post := b.newBlock()
+		if s.Post != nil {
+			post.Stmts = append(post.Stmts, s.Post)
+		}
+		link(post, head)
+		b.push(b.takeLabel(), after, post)
+		bodyOut := b.stmts(s.Body.List, bodyB)
+		b.pop()
+		link(bodyOut, post)
+		return after
+
+	case *ast.RangeStmt:
+		cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: s.X})
+		head := b.newBlock()
+		link(cur, head)
+		if s.Key != nil || s.Value != nil {
+			// Model the per-iteration assignment of key/value.
+			head.Stmts = append(head.Stmts, assignOf(s))
+		}
+		after := b.newBlock()
+		bodyB := b.newBlock()
+		link(head, bodyB)
+		link(head, after) // range exhausted
+		b.push(b.takeLabel(), after, head)
+		bodyOut := b.stmts(s.Body.List, bodyB)
+		b.pop()
+		link(bodyOut, head)
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: s.Tag})
+		}
+		return b.switchBody(s.Body, cur, b.takeLabel(), true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.Stmts = append(cur.Stmts, s.Init)
+		}
+		cur.Stmts = append(cur.Stmts, s.Assign)
+		return b.switchBody(s.Body, cur, b.takeLabel(), false)
+
+	case *ast.SelectStmt:
+		return b.switchBody(s.Body, cur, b.takeLabel(), false)
+
+	case *ast.LabeledStmt:
+		b.curLabel = s.Label.Name
+		out := b.stmt(s.Stmt, cur)
+		b.curLabel = ""
+		return out
+
+	case *ast.ReturnStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		cur.Return = true
+		return nil
+
+	case *ast.BranchStmt:
+		return b.branch(s, cur)
+
+	case *ast.DeferStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		b.cfg.Defers = append(b.cfg.Defers, s.Call)
+		return cur
+
+	case *ast.GoStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+
+	default:
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+	}
+}
+
+// switchBody builds the case structure shared by switch, type switch
+// and select. fallthroughOK enables the expression-switch fallthrough
+// edge. When no default case exists, the head gets an edge straight to
+// the after block: a switch can match nothing (a default-less select
+// blocks instead, but for path analysis only reachability matters).
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, cur *Block, label string, fallthroughOK bool) *Block {
+	after := b.newBlock()
+	b.push(label, after, nil)
+	defer b.pop()
+
+	var caseBlocks []*Block
+	var clauses []([]ast.Stmt)
+	hasDefault := false
+	for _, cc := range body.List {
+		var stmtsList []ast.Stmt
+		switch cc := cc.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: e})
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			stmtsList = cc.Body
+		case *ast.CommClause:
+			// The comm statement itself runs inside the chosen case
+			// block (added below), not in the head.
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			stmtsList = cc.Body
+		}
+		blk := b.newBlock()
+		link(cur, blk)
+		caseBlocks = append(caseBlocks, blk)
+		clauses = append(clauses, stmtsList)
+	}
+	for i, blk := range caseBlocks {
+		// A CommClause's comm statement executes inside the chosen case.
+		if cc, ok := body.List[i].(*ast.CommClause); ok && cc.Comm != nil {
+			blk.Stmts = append(blk.Stmts, cc.Comm)
+		}
+		out := b.caseStmts(clauses[i], blk, caseBlocks, i, fallthroughOK)
+		link(out, after)
+	}
+	if !hasDefault {
+		link(cur, after)
+	}
+	return after
+}
+
+// caseStmts threads one case body, wiring a trailing fallthrough to the
+// next case block.
+func (b *cfgBuilder) caseStmts(list []ast.Stmt, cur *Block, cases []*Block, idx int, fallthroughOK bool) *Block {
+	if fallthroughOK && len(list) > 0 {
+		if br, ok := list[len(list)-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+			out := b.stmts(list[:len(list)-1], cur)
+			if idx+1 < len(cases) {
+				link(out, cases[idx+1])
+			}
+			return nil
+		}
+	}
+	return b.stmts(list, cur)
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt, cur *Block) *Block {
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			fr := b.frames[i]
+			if s.Label == nil || fr.label == s.Label.Name {
+				link(cur, fr.breakTo)
+				return nil
+			}
+		}
+	case "continue":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			fr := b.frames[i]
+			if fr.continueTo == nil {
+				continue // switch/select frame; continue targets the loop
+			}
+			if s.Label == nil || fr.label == s.Label.Name {
+				link(cur, fr.continueTo)
+				return nil
+			}
+		}
+	case "goto":
+		b.cfg.HasGoto = true
+		return nil
+	}
+	// Unmatched label (malformed source) — terminate the path.
+	return nil
+}
+
+func (b *cfgBuilder) push(label string, breakTo, continueTo *Block) {
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: breakTo, continueTo: continueTo})
+}
+
+func (b *cfgBuilder) pop() { b.frames = b.frames[:len(b.frames)-1] }
+
+// takeLabel consumes the label set by an enclosing LabeledStmt (the
+// label applies to the first loop/switch built after it).
+func (b *cfgBuilder) takeLabel() string {
+	l := b.curLabel
+	b.curLabel = ""
+	return l
+}
+
+func assignOf(s *ast.RangeStmt) ast.Stmt {
+	lhs := []ast.Expr{}
+	if s.Key != nil {
+		lhs = append(lhs, s.Key)
+	}
+	if s.Value != nil {
+		lhs = append(lhs, s.Value)
+	}
+	return &ast.AssignStmt{Lhs: lhs, Tok: s.Tok, Rhs: []ast.Expr{s.X}}
+}

@@ -1,0 +1,289 @@
+// Package framerelease checks that every locally-acquired transport
+// buffer or frame reaches a consuming sink on every path. Acquisition
+// sites are calls to the pool fast paths ((*transport.Pool).Get and
+// GetShared, possibly wrapped in append) and same-package functions
+// annotated //erpc:acquire. A tracked value is consumed by reaching a
+// release sink (Pool.Put/PutShared, Frame.Release, ReleaseBurst,
+// SendBurst, an //erpc:release callee) or by escaping: stored into a
+// field/slice/other variable, passed to any call, captured by a
+// closure, returned, or sent on a channel — escaping hands ownership
+// to a carrier the analysis cannot follow, so it ends tracking rather
+// than report.
+//
+// What remains is the leak class that has actually bitten: a buffer
+// acquired and then simply dropped — an early return between Get and
+// the release, or a loop iteration that reacquires into the same
+// variable while the previous buffer is still live. Both are flagged
+// at the acquisition site.
+package framerelease
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags acquired pool buffers/frames that are dropped on some
+// path without release or escape.
+var Analyzer = &analysis.Analyzer{
+	Name: "framerelease",
+	Doc:  "flag acquired transport buffers/frames not released on all paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	dirs := analysis.FuncDirectives(pass)
+	for _, fi := range analysis.Functions(pass) {
+		checkFunc(pass, fi, dirs)
+	}
+	return nil
+}
+
+// live maps a tracked variable to its acquisition position.
+type live map[types.Object]token.Pos
+
+func (l live) clone() live {
+	c := make(live, len(l))
+	for k, v := range l {
+		c[k] = v
+	}
+	return c
+}
+
+func checkFunc(pass *analysis.Pass, fi analysis.FuncInfo, dirs map[types.Object]map[string]bool) {
+	cfg := analysis.BuildCFG(fi.Body)
+	if cfg.HasGoto {
+		return // unmodeled edges; don't guess
+	}
+
+	// Variables released (or escaped) by a deferred call run on every
+	// exit path: never track them.
+	deferred := map[types.Object]bool{}
+	for _, d := range cfg.Defers {
+		ast.Inspect(d, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					deferred[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	isAcquire := func(call *ast.CallExpr) bool {
+		obj := analysis.CalleeObj(pass.TypesInfo, call)
+		if obj == nil {
+			return false
+		}
+		return analysis.MethodOn(obj, "internal/transport", "Pool", "Get") ||
+			analysis.MethodOn(obj, "internal/transport", "Pool", "GetShared") ||
+			dirs[obj]["acquire"]
+	}
+
+	// Fixpoint over the CFG: in-state of a block is the union of its
+	// predecessors' out-states (a variable live on ANY incoming path
+	// is live). Transfer is applyStmt over the block's statements.
+	preds := map[*analysis.Block][]*analysis.Block{}
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	reachable := map[*analysis.Block]bool{}
+	var mark func(*analysis.Block)
+	mark = func(b *analysis.Block) {
+		if reachable[b] {
+			return
+		}
+		reachable[b] = true
+		for _, s := range b.Succs {
+			mark(s)
+		}
+	}
+	mark(cfg.Entry)
+
+	out := map[*analysis.Block]live{}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			if !reachable[b] {
+				continue
+			}
+			in := live{}
+			for _, p := range preds[b] {
+				for k, v := range out[p] {
+					in[k] = v
+				}
+			}
+			o := in.clone()
+			for _, s := range b.Stmts {
+				applyStmt(pass, s, o, isAcquire, deferred, nil)
+			}
+			if !sameLive(out[b], o) {
+				out[b] = o
+				changed = true
+			}
+		}
+	}
+
+	// Reporting pass: replay each reachable block from its final
+	// in-state; leaks fire on reacquire-while-live, at returns, and at
+	// fall-off-the-end blocks.
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, why string) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos, "acquired buffer is not released on all paths (%s) in %s", why, fi.Name)
+	}
+	for _, b := range cfg.Blocks {
+		if !reachable[b] {
+			continue
+		}
+		state := live{}
+		for _, p := range preds[b] {
+			for k, v := range out[p] {
+				state[k] = v
+			}
+		}
+		for _, s := range b.Stmts {
+			applyStmt(pass, s, state, isAcquire, deferred, report)
+		}
+		if b.Return || len(b.Succs) == 0 {
+			why := "dropped at function exit"
+			if b.Return {
+				why = "dropped at return"
+			}
+			for _, pos := range state {
+				report(pos, why)
+			}
+		}
+	}
+}
+
+// applyStmt advances the live set across one statement. When report is
+// non-nil, reacquire-while-live leaks are reported.
+func applyStmt(pass *analysis.Pass, s ast.Stmt, state live,
+	isAcquire func(*ast.CallExpr) bool, deferred map[types.Object]bool,
+	report func(token.Pos, string)) {
+
+	// Assignment handling first: self-reslices keep tracking, fresh
+	// acquisitions start it, rebinding a live variable is a leak.
+	handledLhs := map[types.Object]bool{}
+	if as, ok := s.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if usesObj(pass, rhs, obj) {
+				// x = x[:n], x = append(x, ...): same buffer, keep state.
+				handledLhs[obj] = true
+				continue
+			}
+			if call := acquireExpr(rhs, isAcquire); call != nil {
+				if pos, wasLive := state[obj]; wasLive && report != nil {
+					report(pos, "reacquired into the same variable while live")
+				}
+				if !deferred[obj] {
+					state[obj] = call.Pos()
+				}
+				handledLhs[obj] = true
+				continue
+			}
+			// Rebound to an unrelated value.
+			if pos, wasLive := state[obj]; wasLive {
+				if report != nil {
+					report(pos, "variable rebound while buffer still live")
+				}
+				delete(state, obj)
+			}
+			handledLhs[obj] = true
+		}
+	}
+
+	// Any other appearance of a tracked variable consumes it (release,
+	// escape through a call/field/closure/return/send; closures DO
+	// count, so this walk descends into function literals) — except
+	// pure len/cap reads.
+	ast.Inspect(s, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if ok && isLenCap(pass, call) {
+			return false // len(x)/cap(x) reads don't consume
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || handledLhs[obj] {
+			return true
+		}
+		if _, tracked := state[obj]; tracked {
+			delete(state, obj)
+		}
+		return true
+	})
+}
+
+// acquireExpr unwraps e to an acquisition call: the call itself, or
+// append(acquireCall, ...).
+func acquireExpr(e ast.Expr, isAcquire func(*ast.CallExpr) bool) *ast.CallExpr {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if isAcquire(call) {
+		return call
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+		if inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok && isAcquire(inner) {
+			return inner
+		}
+	}
+	return nil
+}
+
+func usesObj(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isLenCap(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && (b.Name() == "len" || b.Name() == "cap")
+}
+
+func sameLive(a, b live) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}

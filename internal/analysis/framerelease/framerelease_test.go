@@ -1,0 +1,12 @@
+package framerelease_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framerelease"
+)
+
+func TestFramerelease(t *testing.T) {
+	analysistest.Run(t, "testdata", framerelease.Analyzer, "a", "clean")
+}

@@ -1,0 +1,65 @@
+// Package a exercises the framerelease analyzer's flagged cases.
+package a
+
+import "repro/internal/transport"
+
+var pool = transport.NewPool(1500, 64)
+
+func process([]byte) error { return nil }
+
+// dropOnError leaks the buffer on the early-return path.
+func dropOnError(fail bool) {
+	b := pool.Get() // want `not released on all paths`
+	if fail {
+		return
+	}
+	pool.Put(b)
+}
+
+// reacquireInLoop overwrites a live buffer every iteration after the
+// first.
+func reacquireInLoop(n int) {
+	var b []byte
+	for i := 0; i < n; i++ {
+		b = pool.Get() // want `not released on all paths`
+	}
+	pool.Put(b)
+}
+
+// rebound drops the first buffer by rebinding the variable.
+func rebound() {
+	b := pool.Get() // want `not released on all paths`
+	b = nil
+	_ = b
+}
+
+// sharedDrop leaks a cross-goroutine buffer the same way.
+func sharedDrop(fail bool) {
+	b := pool.GetShared() // want `not released on all paths`
+	if fail {
+		return
+	}
+	pool.PutShared(b)
+}
+
+// grab is an annotated acquirer: its callers own the result.
+//
+//erpc:acquire
+func grab() []byte { return pool.Get() }
+
+func dropAnnotated(fail bool) {
+	b := grab() // want `not released on all paths`
+	if fail {
+		return
+	}
+	pool.Put(b)
+}
+
+// appendWrapped acquires through the append idiom and drops one path.
+func appendWrapped(frame []byte, fail bool) {
+	b := append(pool.Get(), frame...) // want `not released on all paths`
+	if fail {
+		return
+	}
+	pool.Put(b)
+}

@@ -1,0 +1,84 @@
+// Package clean exercises the framerelease analyzer's accepted
+// patterns.
+package clean
+
+import "repro/internal/transport"
+
+var pool = transport.NewPool(1500, 64)
+
+type ring struct {
+	slots [][]byte
+}
+
+func (r *ring) push(b []byte) {}
+
+var r ring
+
+// releasedOnAllPaths puts the buffer back on both the error and the
+// success path.
+func releasedOnAllPaths(fail bool) {
+	b := pool.Get()
+	if fail {
+		pool.Put(b)
+		return
+	}
+	pool.Put(b)
+}
+
+// deferredRelease releases through defer, which covers every exit.
+func deferredRelease(fail bool) {
+	b := pool.Get()
+	defer pool.Put(b)
+	if fail {
+		return
+	}
+	process(b)
+}
+
+// escapesIntoRing hands the buffer to a carrier; the ring owns it now.
+func escapesIntoRing(fail bool) {
+	b := pool.Get()
+	if fail {
+		pool.Put(b)
+		return
+	}
+	r.slots = append(r.slots, b)
+}
+
+// resliceThenRelease mirrors the reader loops: self-reslices keep the
+// same buffer.
+func resliceThenRelease() {
+	b := pool.Get()
+	b = b[:cap(b)]
+	if len(b) == 0 {
+		pool.Put(b)
+		return
+	}
+	pool.Put(b)
+}
+
+// passedToCall escapes through any callee — ownership transferred.
+func passedToCall() {
+	b := pool.Get()
+	process(b)
+}
+
+// loopConsumesEachIteration releases before every reacquisition.
+func loopConsumesEachIteration(n int) {
+	for i := 0; i < n; i++ {
+		b := pool.Get()
+		if i%2 == 0 {
+			pool.Put(b)
+			continue
+		}
+		r.push(b)
+	}
+}
+
+// suppressed documents an intentional drop.
+func suppressed() {
+	b := pool.Get() //erpc:ignore leak test fixture; the pool is discarded right after
+	_ = b
+}
+
+func process([]byte) {}

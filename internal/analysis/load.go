@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// Loader parses and type-checks packages from source, sharing one
+// FileSet and one source importer so module-internal imports resolve
+// without a build cache or network access.
+type Loader struct {
+	Fset *token.FileSet
+	// IncludeTests adds the package's in-package _test.go files (not
+	// external _test packages) to the load.
+	IncludeTests bool
+
+	imp types.Importer
+}
+
+// NewLoader returns a Loader backed by the source importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// LoadDir loads the package rooted at dir. File selection goes through
+// go/build so build tags and GOOS/GOARCH constraints are honored —
+// parsing a directory raw would pull both the _linux.go and _other.go
+// halves of the transport engines and fail on redeclarations.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("resolve %s: %w", dir, err)
+	}
+	names := append([]string{}, bp.GoFiles...)
+	if l.IncludeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(error) {}, // collect what we can; first error returned below
+	}
+	path := bp.ImportPath
+	if path == "" || path == "." {
+		path = fallbackImportPath(dir)
+	}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", dir, err)
+	}
+	return &Package{Fset: l.Fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// fallbackImportPath derives a stable package path from the directory
+// when go/build cannot (e.g. testdata trees outside GOPATH).
+func fallbackImportPath(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	return filepath.ToSlash(abs)
+}

@@ -1,0 +1,88 @@
+// Package owner checks the transport pool's single-owner discipline:
+// the fast-path methods (*transport.Pool).Get and (*transport.Pool).Put
+// are lock-free and may only run on the goroutine that owns the pool.
+// A function that uses them must be annotated //erpc:owner, asserting
+// it executes on the owning context; unannotated code must use the
+// cross-goroutine paths (GetShared/PutShared/ReleaseBurst) instead.
+//
+// Function literals do not inherit the annotation from their enclosing
+// function — `go func() { ... }()` changes goroutines — so a literal
+// using the fast path needs its own //erpc:owner directive on the line
+// above it. Methods on Pool itself are exempt (they are the fast path).
+// Additional fast-path entry points can be marked //erpc:owneronly.
+package owner
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags pool fast-path calls outside //erpc:owner contexts.
+var Analyzer = &analysis.Analyzer{
+	Name: "owner",
+	Doc:  "flag transport.Pool Get/Put fast-path calls outside //erpc:owner functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	dirs := analysis.FuncDirectives(pass)
+	for _, fi := range analysis.Functions(pass) {
+		if fi.Owner || poolMethod(pass, fi) {
+			continue
+		}
+		fi := fi
+		analysis.InspectShallow(fi.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := analysis.CalleeObj(pass.TypesInfo, call)
+			if obj == nil {
+				return true
+			}
+			if name, ok := fastPath(obj, dirs); ok {
+				pass.Reportf(call.Pos(),
+					"%s is a single-owner pool fast path; %s is not annotated //erpc:owner (use PutShared/GetShared off the owner goroutine)",
+					name, fi.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fastPath reports whether obj is a single-owner fast-path entry:
+// transport.Pool.Get/Put built in, or any same-package function marked
+// //erpc:owneronly.
+func fastPath(obj types.Object, dirs map[types.Object]map[string]bool) (string, bool) {
+	if analysis.MethodOn(obj, "internal/transport", "Pool", "Get") {
+		return "(*transport.Pool).Get", true
+	}
+	if analysis.MethodOn(obj, "internal/transport", "Pool", "Put") {
+		return "(*transport.Pool).Put", true
+	}
+	if dirs[obj]["owneronly"] {
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// poolMethod reports whether fi is itself a method on transport.Pool
+// (declared in the package under analysis): the fast path's own
+// implementation is exempt.
+func poolMethod(pass *analysis.Pass, fi analysis.FuncInfo) bool {
+	if fi.Decl == nil || fi.Decl.Recv == nil || len(fi.Decl.Recv.List) == 0 {
+		return false
+	}
+	t := pass.TypesInfo.Types[fi.Decl.Recv.List[0].Type].Type
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Pool" && named.Obj().Pkg() == pass.Pkg
+}

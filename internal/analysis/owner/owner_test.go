@@ -1,0 +1,12 @@
+package owner_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/owner"
+)
+
+func TestOwner(t *testing.T) {
+	analysistest.Run(t, "testdata", owner.Analyzer, "a", "clean")
+}

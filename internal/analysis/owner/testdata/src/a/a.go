@@ -1,0 +1,36 @@
+// Package a exercises the owner analyzer's flagged cases.
+package a
+
+import "repro/internal/transport"
+
+var pool = transport.NewPool(1500, 64)
+
+// recycle has no //erpc:owner annotation, so the fast path is off
+// limits.
+func recycle(b []byte) {
+	pool.Put(b) // want `single-owner pool fast path`
+}
+
+func grab() []byte {
+	return pool.Get() // want `single-owner pool fast path`
+}
+
+//erpc:owner
+func ownerButSpawns() {
+	b := pool.Get()
+	pool.Put(b)
+	// The literal runs on a different goroutine: it does not inherit
+	// the annotation.
+	go func() {
+		pool.Put(pool.Get()) // want `single-owner pool fast path` `single-owner pool fast path`
+	}()
+}
+
+// reset is an extension fast path: callers must be owner-annotated.
+//
+//erpc:owneronly
+func reset(b []byte) {}
+
+func callsReset(b []byte) {
+	reset(b) // want `single-owner pool fast path`
+}

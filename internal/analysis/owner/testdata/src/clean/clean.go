@@ -1,0 +1,35 @@
+// Package clean exercises the owner analyzer's accepted patterns.
+package clean
+
+import "repro/internal/transport"
+
+var pool = transport.NewPool(1500, 64)
+
+// recycleShared uses the cross-goroutine path: fine anywhere.
+func recycleShared(b []byte) {
+	pool.PutShared(b)
+}
+
+func grabShared() []byte {
+	return pool.GetShared()
+}
+
+// hotLoop is annotated: the fast path is allowed.
+//
+//erpc:owner
+func hotLoop() {
+	for i := 0; i < 4; i++ {
+		pool.Put(pool.Get())
+	}
+}
+
+func spawner() {
+	//erpc:owner — the literal is the pool owner's whole lifetime
+	go func() {
+		pool.Put(pool.Get())
+	}()
+}
+
+func measured(b []byte) {
+	pool.Put(b) //erpc:ignore single-goroutine micro-benchmark owns the pool
+}

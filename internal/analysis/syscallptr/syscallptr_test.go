@@ -1,0 +1,12 @@
+package syscallptr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/syscallptr"
+)
+
+func TestSyscallptr(t *testing.T) {
+	analysistest.Run(t, "testdata", syscallptr.Analyzer, "a", "clean")
+}

@@ -1,0 +1,38 @@
+// Package a exercises the syscallptr analyzer's flagged cases.
+package a
+
+import "unsafe"
+
+var x int
+
+type carrier struct {
+	addr uintptr
+}
+
+func storedInVar() {
+	u := uintptr(unsafe.Pointer(&x)) // want `stored in a variable`
+	_ = u
+}
+
+func storedInDecl() {
+	var u uintptr = uintptr(unsafe.Pointer(&x)) // want `stored in a variable declaration`
+	_ = u
+}
+
+func storedInLiteral() carrier {
+	return carrier{addr: uintptr(unsafe.Pointer(&x))} // want `stored in a composite literal`
+}
+
+func returned() uintptr {
+	return uintptr(unsafe.Pointer(&x)) // want `returned`
+}
+
+func storedViaConversion() {
+	u := uint64(uintptr(unsafe.Pointer(&x))) // want `stored in a variable`
+	_ = u
+}
+
+func rebuilt(u uintptr) unsafe.Pointer {
+	// u crossed a statement boundary somewhere: the object may be gone.
+	return unsafe.Pointer(u) // want `not derived in the same expression`
+}

@@ -385,6 +385,8 @@ func (r *Rpc) sendCtrl(dst transport.Addr, h wire.Header) {
 // (§4.2.2's single DMA-queue flush), or earlier if it reaches the
 // flush threshold (BurstSize, or the AIMD-tuned value under
 // Config.AdaptiveBurst).
+//
+//erpc:owner
 func (r *Rpc) rawSend(dst transport.Addr, frame []byte) {
 	buf := append(r.txPool.Get(), frame...)
 	r.appendTX(dst, buf, true)
@@ -437,6 +439,9 @@ func (r *Rpc) appendTX(dst transport.Addr, data []byte, owned bool) {
 // completes transmission synchronously, so the buffers are free). In
 // simulation mode each frame is scheduled to depart at its recorded
 // per-packet time, preserving the TxPipeline timing model.
+//
+//erpc:owner
+//erpc:flush
 func (r *Rpc) flushTX() {
 	if len(r.txBatch) == 0 {
 		// Nothing queued, but deferred frees may have become eligible

@@ -287,6 +287,7 @@ func NewRpc(nexus *Nexus, cfg Config) *Rpc {
 	}
 	if r.sched != nil {
 		r.txDep = make([]sim.Time, 0, cfg.BurstSize)
+		//erpc:owner — runs synchronously on the dispatch goroutine via the scheduler
 		r.simTxFn = func(a any) {
 			t := a.(*simTx)
 			r.tr.Send(t.dst, t.buf)

@@ -303,6 +303,8 @@ type PoolFastPathResult struct {
 // PoolFastPathMeasure runs the single-owner Get/Put cycle and reports
 // its allocation and mutex cost (cf. BenchmarkPoolGetPut, which pins
 // the same numbers in the test suite).
+//
+//erpc:owner
 func PoolFastPathMeasure() PoolFastPathResult {
 	p := transport.NewPool(1500, 64)
 	p.Put(p.Get()) // warm

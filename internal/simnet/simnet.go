@@ -242,6 +242,8 @@ func (f *Fabric) freePkt(pkt *simPkt) {
 
 // dropPkt recycles a descriptor and its payload (a packet lost in the
 // fabric).
+//
+//erpc:owner
 func (f *Fabric) dropPkt(pkt *simPkt) {
 	f.pool.Put(pkt.buf)
 	f.freePkt(pkt)
@@ -255,7 +257,10 @@ func releaseBuf(pkt *simPkt) {
 	pkt.relSw = nil
 }
 
-// send launches a frame into the fabric from src.
+// send launches a frame into the fabric from src. The whole fabric
+// executes on the one scheduler goroutine, which owns f.pool.
+//
+//erpc:owner
 func (f *Fabric) send(src *Endpoint, dst transport.Addr, frame []byte) {
 	prof := f.cfg.Profile
 	if len(frame) > prof.MTU {

@@ -76,6 +76,8 @@ func SharedFrame(data []byte, from Addr, p *Pool) Frame {
 // for frames released on the pool-owning goroutine, the shared slow
 // path for cross-goroutine frames (see SharedFrame). Safe to call on a
 // zero or already-released frame.
+//
+//erpc:owner
 func (f *Frame) Release() {
 	if f.seg != nil {
 		f.seg.release()
@@ -174,6 +176,10 @@ type Pool struct {
 	mu         sync.Mutex
 	shared     [][]byte
 	sharedPuts atomic.Uint64
+
+	// dbg is the erpcdebug sanitizer state: zero-sized and inert in
+	// release builds (see debug_off.go / debug_on.go).
+	dbg poolDebug
 }
 
 // NewPool returns a pool of buffers with the given capacity (typically
@@ -222,13 +228,19 @@ func popLast(list *[][]byte) []byte {
 // swaps in the shared list under one lock before allocating.
 func (p *Pool) Get() []byte {
 	if len(p.free) > 0 {
-		return popLast(&p.free)
+		b := popLast(&p.free)
+		p.dbg.onGet(b)
+		return b
 	}
 	if p.refill() {
-		return popLast(&p.free)
+		b := popLast(&p.free)
+		p.dbg.onGet(b)
+		return b
 	}
 	p.news.Add(1)
-	return make([]byte, 0, p.bufCap)
+	b := make([]byte, 0, p.bufCap)
+	p.dbg.onGet(b)
+	return b
 }
 
 // refill swaps the (empty) owner free list with the shared list under
@@ -253,6 +265,7 @@ func (p *Pool) Put(b []byte) {
 	if cap(b) < p.bufCap {
 		return
 	}
+	p.dbg.onPut(b, false)
 	if len(p.free) < p.limit {
 		p.fastPuts.Add(1)
 		p.free = append(p.free, b[:0])
@@ -266,6 +279,7 @@ func (p *Pool) PutShared(b []byte) {
 	if cap(b) < p.bufCap {
 		return
 	}
+	p.dbg.onPut(b, true)
 	p.mu.Lock()
 	if len(p.shared) < p.limit {
 		p.sharedPuts.Add(1)
@@ -283,11 +297,14 @@ func (p *Pool) GetShared() []byte {
 	if len(p.shared) > 0 {
 		b := popLast(&p.shared)
 		p.mu.Unlock()
+		p.dbg.onGet(b)
 		return b
 	}
 	p.mu.Unlock()
 	p.news.Add(1)
-	return make([]byte, 0, p.bufCap)
+	b := make([]byte, 0, p.bufCap)
+	p.dbg.onGet(b)
+	return b
 }
 
 // putSharedBatch appends a burst of shared-release frames' buffers
@@ -300,6 +317,9 @@ func (p *Pool) putSharedBatch(frames []Frame) {
 		buf := f.base
 		if buf == nil {
 			buf = f.Data
+		}
+		if cap(buf) >= p.bufCap {
+			p.dbg.onPut(buf, true)
 		}
 		if cap(buf) >= p.bufCap && len(p.shared) < p.limit {
 			p.sharedPuts.Add(1)

@@ -226,8 +226,8 @@ func TestUDPRingBounded(t *testing.T) {
 			got += k
 		}
 	}
-	if u.Drops != 0 {
-		t.Fatalf("drops = %d with the ring never more than half full", u.Drops)
+	if u.Drops.Load() != 0 {
+		t.Fatalf("drops = %d with the ring never more than half full", u.Drops.Load())
 	}
 	// Capacity is structurally bounded: the ring is a fixed array and
 	// the RX pool must have stopped allocating once primed — total
@@ -259,8 +259,8 @@ func TestUDPRingOverflowDrops(t *testing.T) {
 	if pending := u.tail - u.head; pending != udpRingCap {
 		t.Fatalf("ring holds %d, want exactly capacity %d", pending, udpRingCap)
 	}
-	if u.Drops != extra {
-		t.Fatalf("drops = %d, want %d", u.Drops, extra)
+	if u.Drops.Load() != extra {
+		t.Fatalf("drops = %d, want %d", u.Drops.Load(), extra)
 	}
 	// A dropped packet's buffer is re-posted, so draining one slot and
 	// refilling must not allocate.
@@ -292,20 +292,20 @@ func TestFaultyBurst(t *testing.T) {
 		}
 		f.SendBurst(fr)
 	}
-	if f.Bursts != bursts {
-		t.Fatalf("Bursts = %d, want %d", f.Bursts, bursts)
+	if f.Bursts.Load() != bursts {
+		t.Fatalf("Bursts = %d, want %d", f.Bursts.Load(), bursts)
 	}
-	if f.Drops == 0 || f.Dups == 0 || f.Reorders == 0 {
-		t.Fatalf("fault injector idle: drops=%d dups=%d reorders=%d", f.Drops, f.Dups, f.Reorders)
+	if f.Drops.Load() == 0 || f.Dups.Load() == 0 || f.Reorders.Load() == 0 {
+		t.Fatalf("fault injector idle: drops=%d dups=%d reorders=%d", f.Drops.Load(), f.Dups.Load(), f.Reorders.Load())
 	}
 	sent := uint64(bursts * perBurst)
 	f.mu.Lock()
 	held := uint64(len(f.held))
 	f.mu.Unlock()
-	want := sent - f.Drops + f.Dups - held
+	want := sent - f.Drops.Load() + f.Dups.Load() - held
 	if sink.frames != want {
 		t.Fatalf("downstream saw %d frames, want %d (sent %d, drops %d, dups %d, held %d)",
-			sink.frames, want, sent, f.Drops, f.Dups, held)
+			sink.frames, want, sent, f.Drops.Load(), f.Dups.Load(), held)
 	}
 	for _, d := range sink.payloads {
 		if !bytes.Equal(d, payload) {

@@ -1,0 +1,27 @@
+//go:build !erpcdebug
+
+package transport
+
+// DebugEnabled reports whether this build carries the erpcdebug
+// sanitizer. Release builds compile the hooks in this file — empty
+// types and no-op methods the inliner erases — so the datapath pays
+// nothing for them. Build with -tags erpcdebug to swap in the checked
+// versions (see debug_on.go); tests that assert zero allocations skip
+// themselves when this is true, since the sanitizer's bookkeeping
+// allocates.
+const DebugEnabled = false
+
+// poolDebug is the Pool's sanitizer state: empty in release builds.
+type poolDebug struct{}
+
+func (*poolDebug) onGet([]byte)       {}
+func (*poolDebug) onPut([]byte, bool) {}
+
+// segDebug is the segPool's sanitizer state: empty in release builds.
+type segDebug struct{}
+
+func (*segDebug) onGet(*SegBuf) {}
+func (*segDebug) onPut(*SegBuf) {}
+
+func segDebugCheckRelease(*SegBuf, int32) {}
+func segDebugCheckRecharge(*SegBuf)       {}

@@ -3,6 +3,7 @@ package transport
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 )
 
 // Faulty wraps a Transport and injects send-side faults: drops,
@@ -28,13 +29,14 @@ type Faulty struct {
 	DupRate     float64
 	ReorderRate float64
 
-	// Counters of injected faults.
-	Drops    uint64
-	Dups     uint64
-	Reorders uint64
+	// Counters of injected faults. Atomic: stress tests read them
+	// while concurrent senders are still incrementing.
+	Drops    atomic.Uint64
+	Dups     atomic.Uint64
+	Reorders atomic.Uint64
 	// Bursts counts SendBurst calls, so tests can assert the burst
 	// path was exercised.
-	Bursts uint64
+	Bursts atomic.Uint64
 }
 
 type heldPkt struct {
@@ -78,13 +80,13 @@ func (f *Faulty) Send(dst Addr, frame []byte) {
 	switch {
 	case roll < f.DropRate:
 		fate = 1
-		f.Drops++
+		f.Drops.Add(1)
 	case roll < f.DropRate+f.DupRate:
 		fate = 2
-		f.Dups++
+		f.Dups.Add(1)
 	case roll < f.DropRate+f.DupRate+f.ReorderRate:
 		fate = 3
-		f.Reorders++
+		f.Reorders.Add(1)
 		// Copy: the caller reuses frame after Send returns.
 		cp := make([]byte, len(frame))
 		copy(cp, frame)
@@ -116,7 +118,7 @@ func (f *Faulty) Send(dst Addr, frame []byte) {
 // to a fresh slice instead of sharing it.
 func (f *Faulty) SendBurst(frames []Frame) {
 	f.mu.Lock()
-	f.Bursts++
+	f.Bursts.Add(1)
 	out := f.out[:0]
 	f.out = nil // detached until the downstream flush completes
 	for i := range frames {
@@ -137,12 +139,12 @@ func (f *Faulty) SendBurst(frames []Frame) {
 		roll := f.rng.Float64()
 		switch {
 		case roll < f.DropRate:
-			f.Drops++
+			f.Drops.Add(1)
 		case roll < f.DropRate+f.DupRate:
-			f.Dups++
+			f.Dups.Add(1)
 			out = append(out, Frame{Data: data, Addr: dst}, Frame{Data: data, Addr: dst})
 		case roll < f.DropRate+f.DupRate+f.ReorderRate:
-			f.Reorders++
+			f.Reorders.Add(1)
 			// Copy: the caller reuses the frame after SendBurst returns,
 			// but the held packet outlives the call.
 			cp := make([]byte, len(data))

@@ -82,6 +82,9 @@ func TestPoolOwnerSharedRace(t *testing.T) {
 // acquisitions (no refills — the free list never runs dry — and no
 // shared puts).
 func TestPoolSingleOwnerAllocFree(t *testing.T) {
+	if DebugEnabled {
+		t.Skip("erpcdebug sanitizer bookkeeping allocates; zero-alloc contract holds in release builds only")
+	}
 	p := NewPool(1500, 64)
 	p.Put(p.Get()) // warm: one buffer on the free list
 	st0 := p.Stats()
@@ -106,6 +109,9 @@ func TestPoolSingleOwnerAllocFree(t *testing.T) {
 // 0 B/op, 0 allocs/op, and never acquire the pool mutex — Refills and
 // SharedPuts both stay zero.
 func BenchmarkPoolGetPut(b *testing.B) {
+	if DebugEnabled {
+		b.Skip("erpcdebug sanitizer bookkeeping allocates; zero-alloc contract holds in release builds only")
+	}
 	p := NewPool(1500, 64)
 	p.Put(p.Get())
 	b.ReportAllocs()

@@ -31,9 +31,18 @@ type SegBuf struct {
 // release drops one segment reference, recycling the SegBuf when it
 // was the last. Safe from any goroutine.
 func (sb *SegBuf) release() {
-	if sb.refs.Add(-1) == 0 {
+	n := sb.refs.Add(-1)
+	segDebugCheckRelease(sb, n)
+	if n == 0 {
 		sb.sp.put(sb)
 	}
+}
+
+// recharge arms the refcount for a fresh split. The previous hand-out
+// must be fully released (refs == 0) — the erpcdebug build asserts it.
+func (sb *SegBuf) recharge(n int32) {
+	segDebugCheckRecharge(sb)
+	sb.refs.Store(n)
 }
 
 // segPool recycles SegBufs between the reader goroutine (get) and
@@ -56,6 +65,10 @@ type segPool struct {
 
 	mu   sync.Mutex
 	free []*SegBuf
+
+	// dbg is the erpcdebug sanitizer state: zero-sized and inert in
+	// release builds (see debug_off.go / debug_on.go).
+	dbg segDebug
 }
 
 func newSegPool(bufCap int, limit int32) *segPool {
@@ -78,6 +91,7 @@ func (sp *segPool) get() *SegBuf {
 		sp.free[n-1] = nil
 		sp.free = sp.free[:n-1]
 		sp.mu.Unlock()
+		sp.dbg.onGet(sb)
 		return sb
 	}
 	sp.mu.Unlock()
@@ -91,6 +105,7 @@ func (sp *segPool) canAlias() bool { return sp.outstanding.Load() < sp.limit }
 
 // put recycles a SegBuf whose last segment reference was released.
 func (sp *segPool) put(sb *SegBuf) {
+	sp.dbg.onPut(sb)
 	sp.outstanding.Add(-1)
 	sp.recycles.Add(1)
 	sp.mu.Lock()
@@ -121,6 +136,8 @@ func (sp *segPool) put(sb *SegBuf) {
 // segment, a short trailing segment is clamped to the receive length,
 // segments shorter than the wire prefix are dropped, and a length
 // beyond the buffer drops the receive outright.
+//
+//erpc:owner
 func (u *UDP) splitRxSegs(sb *SegBuf, ln, stride int) (nseg int, aliased bool) {
 	if sb == nil || ln <= 0 || ln > len(sb.buf) {
 		return 0, false
@@ -137,7 +154,7 @@ func (u *UDP) splitRxSegs(sb *SegBuf, ln, stride int) (nseg int, aliased bool) {
 			}
 		}
 		if valid > 0 {
-			sb.refs.Store(int32(valid))
+			sb.recharge(int32(valid))
 			sb.sp.outstanding.Add(1)
 			u.GroAliasedSegs.Add(uint64(valid))
 			for off := 0; off < ln; off += stride {

@@ -36,6 +36,22 @@
 // Sharded multi-endpoint processes (ListenUDPShards) give every
 // endpoint its own socket, RX ring and pools, so no datapath state is
 // shared across dispatch goroutines (§4.1).
+//
+// # Machine-checked ownership
+//
+// The ownership rules above are not just documentation. Functions that
+// run in a pool-owning context carry an //erpc:owner directive, and
+// the erpcvet analyzer suite (cmd/erpcvet, runnable standalone or via
+// go vet -vettool) enforces the discipline statically: Pool.Get/Put
+// fast-path calls outside annotated owner contexts, acquired buffers
+// that can leak on an early return, TX-retained msgbuf aliases freed
+// without a dominating flush, and uintptr-of-unsafe.Pointer values
+// stored across statements are all build errors in CI. A known-safe
+// violation is suppressed with //erpc:ignore plus a mandatory reason.
+// What the analyzers cannot prove absent, builds with -tags erpcdebug
+// catch at runtime: the sanitizer in debug_on.go panics on pool
+// double-puts (with the acquisition site), fast-path puts off the
+// owner goroutine, and SegBuf refcount underflow/reuse-in-flight.
 package transport
 
 import "fmt"

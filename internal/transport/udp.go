@@ -87,8 +87,9 @@ type UDP struct {
 	txScratch []byte    // one frame being prefixed for the wire (per-packet engine)
 	apScratch []udpDest // per-burst resolved destinations
 
-	// Drops counts ring-overflow drops (guarded by mu).
-	Drops uint64
+	// Drops counts ring-overflow drops. Atomic: the hot reader
+	// goroutine increments it while exit reports read it live.
+	Drops atomic.Uint64
 
 	// Syscalls counts kernel crossings that moved data-plane packets
 	// (sendto/sendmmsg/recvfrom/recvmmsg invocations that transferred
@@ -464,11 +465,16 @@ func (u *UDP) enqueueSeg(sb *SegBuf, data []byte, from Addr) {
 	u.enqueuePkt(udpPkt{seg: sb, data: data, from: from})
 }
 
+// enqueuePkt pushes one received packet into the RX ring, recycling
+// its buffer on overflow. Runs on the reader goroutine, which owns
+// u.rxPool.
+//
+//erpc:owner
 func (u *UDP) enqueuePkt(p udpPkt) {
 	u.mu.Lock()
 	var wake func()
 	if u.tail-u.head >= udpRingCap {
-		u.Drops++
+		u.Drops.Add(1)
 		u.mu.Unlock()
 		if p.seg != nil {
 			p.seg.release()
@@ -588,6 +594,10 @@ func (e *perPacketEngine) sendBurst(dsts []udpDest, frames []Frame) {
 	}
 }
 
+// readLoop is the reader-goroutine body: one pooled buffer per
+// ReadFromUDPAddrPort, handed to the RX ring or recycled.
+//
+//erpc:owner
 func (e *perPacketEngine) readLoop() {
 	u := e.u
 	for {

@@ -402,6 +402,7 @@ func (e *gsoEngine) sendSegmented(m int) {
 	entries := int(h.Iovlen) / segs
 	// Recover the message's iovec window index from its pointer (the
 	// chain always lives in e.tiovs).
+	//erpc:ignore stores an int index from same-statement pointer subtraction; both objects are pinned by e and no pointer is rebuilt
 	base := int((uintptr(unsafe.Pointer(h.Iov)) - uintptr(unsafe.Pointer(&e.tiovs[0]))) /
 		unsafe.Sizeof(syscall.Iovec{}))
 	for s := 0; s < segs; s++ {

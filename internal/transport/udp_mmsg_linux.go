@@ -247,6 +247,8 @@ func putSockPort(b *[2]byte, p uint16) { b[0], b[1] = byte(p>>8), byte(p) }
 // buffers, pull as many datagrams as one recvmmsg yields, enqueue
 // their payloads in place, repeat. Buffers consumed by the ring are
 // replaced from the pool; unconsumed slots keep their buffer.
+//
+//erpc:owner
 func (e *mmsgEngine) readLoop() {
 	u := e.u
 	for {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-quick fuzz fmt-check ci test-nommsg test-nogso test-nommsg-nogso test-debug
+.PHONY: build test race vet bench bench-quick fuzz fmt-check ci test-nommsg test-nogso test-nommsg-nogso test-nouring test-debug
 
 # The portable per-packet UDP engine, forced on Linux via the nommsg
 # build tag (CI runs this so the fallback cannot rot).
@@ -14,6 +14,12 @@ test-nogso:
 
 test-nommsg-nogso:
 	$(GO) test -tags=nommsg,nogso ./...
+
+# The syscall-engine stack without the io_uring engine (nouring tag):
+# the Uring constructors must fall back to the auto chain and the full
+# suite must still pass — CI runs this leg.
+test-nouring:
+	$(GO) test -tags=nouring ./...
 
 build:
 	$(GO) build ./...
@@ -44,15 +50,18 @@ test-debug:
 # per-packet vs mmsg engines, loopback RPC krps + syscalls/op + TX
 # blast), BENCH_reuseport.json (the sharded-datapath sweep: per-port
 # vs SO_REUSEPORT socket layouts with per-shard counters and the
-# single-owner pool probe) and BENCH_gso.json (the segmentation-offload
+# single-owner pool probe), BENCH_gso.json (the segmentation-offload
 # sweep: mmsg vs UDP_SEGMENT/UDP_GRO engines, syscalls/op,
-# segments/syscall, zero-copy TX accounting), then runs the full
+# segments/syscall, zero-copy TX accounting) and BENCH_uring.json (the
+# io_uring sweep: gso vs io_uring engines, syscalls/op and ring
+# counters — zero-syscall bursts under SQPOLL), then runs the full
 # reduced-scale benchmark suite once.
 bench:
 	$(GO) run ./cmd/erpc-bench -datapath BENCH_datapath.json -scale 0.25
 	$(GO) run ./cmd/erpc-bench -udpsyscall BENCH_udpsyscall.json -scale 0.5
 	$(GO) run ./cmd/erpc-bench -reuseport BENCH_reuseport.json -scale 0.5
 	$(GO) run ./cmd/erpc-bench -gso BENCH_gso.json -scale 0.5
+	$(GO) run ./cmd/erpc-bench -uring BENCH_uring.json -scale 0.5
 	$(GO) test -bench . -benchtime 1x -run XXX .
 
 bench-quick:
@@ -70,4 +79,4 @@ fuzz:
 	$(GO) test -fuzz FuzzProcessPkt -fuzztime 30s ./internal/core/
 	$(GO) test -fuzz FuzzRxBurst -fuzztime 30s ./internal/core/
 
-ci: fmt-check build vet race test-debug test-nommsg test-nogso test-nommsg-nogso
+ci: fmt-check build vet race test-debug test-nommsg test-nogso test-nommsg-nogso test-nouring

@@ -46,6 +46,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "shared worker pool size for long-running handlers (0 = GOMAXPROCS)")
 		burst     = flag.Int("burst", 0, "RX/TX burst size per event-loop iteration (0 = default 16)")
 		gso       = flag.Bool("gso", true, "use the segmentation-offload UDP engine (UDP_SEGMENT supersegment TX + UDP_GRO coalesced RX) where the kernel supports it; false forces plain sendmmsg/recvmmsg")
+		uring     = flag.Bool("uring", false, "use the io_uring UDP engine (linked-SQE TX chains, registered-buffer RX, SQPOLL zero-syscall steady state) where the kernel supports it; overrides -gso")
 		adapt     = flag.Bool("adaptburst", false, "adapt the TX flush threshold to observed RX burst fill (AIMD): deeper batching under load, immediate flushes when idle")
 	)
 	flag.Parse()
@@ -84,9 +85,13 @@ func main() {
 		ctx.EnqueueResponse()
 	}})
 
-	// One place picks the engine for both socket layouts (-gso knob).
+	// One place picks the engine for both socket layouts (-uring and
+	// -gso knobs).
 	listenFlat, listenShards := erpc.ListenUDP, erpc.ListenUDPShards
-	if !*gso {
+	switch {
+	case *uring:
+		listenFlat, listenShards = erpc.ListenUDPUring, erpc.ListenUDPShardsUring
+	case !*gso:
 		listenFlat, listenShards = erpc.ListenUDPMmsg, erpc.ListenUDPShardsMmsg
 	}
 	var trs []*transport.UDP
@@ -111,7 +116,10 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if *gso && !erpc.UDPGsoSupported() {
+	if *uring && !erpc.UDPUringSupported() {
+		fmt.Println("uring requested but unavailable (build tag or kernel): using the best syscall engine")
+	}
+	if !*uring && *gso && !erpc.UDPGsoSupported() {
 		fmt.Println("gso requested but unavailable (build tag or kernel): using the best non-gso engine")
 	}
 	for i, tr := range trs {
@@ -157,6 +165,10 @@ func main() {
 	segs, gro, aliased := erpc.UDPGsoStats(trs)
 	fmt.Printf("udp engine %s: %d data syscalls, %d mmsg batches, %d gso segments, %d gro batches, %d gro segs aliased\n",
 		engine, syscalls, batches, segs, gro, aliased)
+	if submits, linked, cqeBatches, wakeups := erpc.UDPUringStats(trs); submits+linked+cqeBatches+wakeups > 0 {
+		fmt.Printf("io_uring: %d submits, %d linked sqes, %d batched cq reaps, %d sqpoll wakeups\n",
+			submits, linked, cqeBatches, wakeups)
+	}
 	fmt.Printf("zero-copy tx frames: %d, deferred msgbuf frees: %d\n",
 		st.ZeroCopyTx, st.DeferredFrees)
 	if *adapt {

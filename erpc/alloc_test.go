@@ -26,7 +26,19 @@ func TestSmallRPCAllocFree(t *testing.T) {
 		t.Skip("erpcdebug sanitizer bookkeeping allocates; zero-alloc contract holds in release builds only")
 	}
 	for _, engine := range udpEngines() {
-		t.Run(engine, func(t *testing.T) { runSmallRPCAllocFree(t, engine) })
+		t.Run(engine, func(t *testing.T) {
+			if engine == "uring" && transport.RaceEnabled {
+				// Not a correctness skip: the race detector's
+				// instrumentation slows the spin loops enough that the
+				// SQPOLL kernel threads and the app livelock-crawl on
+				// small hosts (minutes per run). The uring datapath
+				// itself runs under -race in the transport suite and
+				// the engine echo tests; the zero-alloc contract is
+				// asserted on the release-build legs.
+				t.Skip("io_uring SQPOLL timing pathological under the race detector; covered on non-race legs")
+			}
+			runSmallRPCAllocFree(t, engine)
+		})
 	}
 	// The sharded datapath must be exactly as allocation-free: the
 	// server side listens on SO_REUSEPORT shards (or the per-port

@@ -9,19 +9,26 @@ import (
 // binary, so real-transport suites (adversity stress, alloc guard,
 // loopback bench) run over each: the segmentation-offload gso engine
 // where the build and kernel both support it, the batched mmsg engine
-// where available, and the portable per-packet fallback always. A
-// `-tags=nogso` build drops the gso leg, `-tags=nommsg` reduces the
-// list to the fallback alone — which is then also the engine behind
-// the default constructors.
+// where available, and the portable per-packet fallback always. The
+// opt-in io_uring engine joins the list where the build and kernel
+// support it. A `-tags=nogso` build drops the gso leg, `-tags=nouring`
+// the uring leg, and `-tags=nommsg` reduces the list to the fallback
+// alone — which is then also the engine behind the default
+// constructors.
 func udpEngines() []string {
+	var engines []string
+	if erpc.UDPUringSupported() {
+		engines = append(engines, "uring")
+	}
 	switch {
 	case erpc.UDPGsoSupported():
-		return []string{"gso", "mmsg", "per-packet"}
+		engines = append(engines, "gso", "mmsg", "per-packet")
 	case erpc.UDPMmsgSupported:
-		return []string{"mmsg", "per-packet"}
+		engines = append(engines, "mmsg", "per-packet")
 	default:
-		return []string{"per-packet"}
+		engines = append(engines, "per-packet")
 	}
+	return engines
 }
 
 // newUDPTransportEngine binds one socket on the named engine.
@@ -31,6 +38,8 @@ func newUDPTransportEngine(engine string, addr erpc.Addr, bind string) (*transpo
 		return erpc.NewUDPTransportPerPacket(addr, bind)
 	case "mmsg":
 		return erpc.NewUDPTransportMmsg(addr, bind)
+	case "uring":
+		return erpc.NewUDPTransportUring(addr, bind)
 	default:
 		return erpc.NewUDPTransport(addr, bind)
 	}
@@ -43,6 +52,8 @@ func listenUDPEngine(engine string, node uint16, host string, basePort, n int) (
 		return erpc.ListenUDPPerPacket(node, host, basePort, n)
 	case "mmsg":
 		return erpc.ListenUDPMmsg(node, host, basePort, n)
+	case "uring":
+		return erpc.ListenUDPUring(node, host, basePort, n)
 	default:
 		return erpc.ListenUDP(node, host, basePort, n)
 	}

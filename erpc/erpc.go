@@ -160,6 +160,19 @@ func NewUDPTransportPerPacket(addr Addr, bind string) (*transport.UDP, error) {
 	return transport.NewUDPPerPacket(addr, bind)
 }
 
+// NewUDPTransportUring is NewUDPTransport on the io_uring engine:
+// bursts are published to a shared submission ring (linked SENDMSG
+// chains on TX, a re-armed registered-buffer READ chain on RX) and,
+// with the kernel's SQPOLL thread awake, cross the kernel with zero
+// syscalls. Opt-in — NewUDPTransport's auto selection deliberately
+// excludes it, since SQPOLL trades a polling kernel thread for the
+// syscalls. Where io_uring is not compiled in or the kernel refuses
+// it (see UDPUringSupported), this falls back to exactly
+// NewUDPTransport's auto selection.
+func NewUDPTransportUring(addr Addr, bind string) (*transport.UDP, error) {
+	return transport.NewUDPUring(addr, bind)
+}
+
 // UDPMmsgSupported reports whether the batched sendmmsg/recvmmsg UDP
 // engine is compiled into this binary (Linux amd64/arm64 without the
 // `nommsg` build tag).
@@ -177,6 +190,17 @@ const UDPGsoCompiled = transport.GsoSupported
 // and the listen helpers select the gso engine by default; the Mmsg
 // variants opt out. It is the runtime mirror of UDPReusePortSupported.
 func UDPGsoSupported() bool { return transport.UDPGsoSupported() }
+
+// UDPUringCompiled reports whether the io_uring UDP engine is compiled
+// into this binary (Linux amd64/arm64 without the `nommsg`/`nouring`
+// build tags).
+const UDPUringCompiled = transport.UringSupported
+
+// UDPUringSupported reports whether the io_uring engine actually runs
+// here: compiled in (UDPUringCompiled) and accepted by the running
+// kernel (ring-setup probe, cached). When false, the Uring
+// constructors quietly select NewUDPTransport's auto engine instead.
+func UDPUringSupported() bool { return transport.UDPUringSupported() }
 
 // NewPool returns a recycling packet-buffer pool for a custom
 // Transport's burst datapath (see transport.NewPool).
@@ -232,6 +256,13 @@ func ListenUDPMmsg(node uint16, host string, basePort, n int) ([]*transport.UDP,
 	return listenUDP(node, host, basePort, n, transport.NewUDPMmsg)
 }
 
+// ListenUDPUring is ListenUDP with the io_uring engine selected on
+// every socket (see NewUDPTransportUring; falls back to the auto
+// engine where io_uring is unavailable).
+func ListenUDPUring(node uint16, host string, basePort, n int) ([]*transport.UDP, error) {
+	return listenUDP(node, host, basePort, n, transport.NewUDPUring)
+}
+
 // ListenUDPShards binds n SO_REUSEPORT shard sockets, all on one UDP
 // address, for the endpoints (node, 0..n-1) of a sharded server
 // process: the kernel hashes each client flow to one shard, and that
@@ -252,6 +283,16 @@ func ListenUDPShards(node uint16, bind string, n int) ([]*transport.UDP, error) 
 // engine skipped on every shard socket (see NewUDPTransportMmsg).
 func ListenUDPShardsMmsg(node uint16, bind string, n int) ([]*transport.UDP, error) {
 	return transport.ListenUDPShardsMmsg(node, bind, n)
+}
+
+// ListenUDPShardsUring is ListenUDPShards with the io_uring engine
+// selected on every shard socket (see NewUDPTransportUring) — each
+// shard gets its own submission/completion rings and registered RX
+// slab, so the one-queue-pair-per-thread discipline extends to the
+// ring doorbells. Falls back per-socket to the auto engine where
+// io_uring is unavailable.
+func ListenUDPShardsUring(node uint16, bind string, n int) ([]*transport.UDP, error) {
+	return transport.ListenUDPShardsUring(node, bind, n)
 }
 
 // UDPReusePortSupported reports whether ListenUDPShards binds its
@@ -410,10 +451,11 @@ func UDPShardStats(trs []*transport.UDP) []string {
 	lines := make([]string, len(trs))
 	for i, tr := range trs {
 		ps := tr.RxPoolStats()
-		lines[i] = fmt.Sprintf("endpoint %v on %s (%s): %d syscalls, %d mmsg batches, %d gso segments, %d gro batches, %d ring drops, rx pool: %d allocs, %d fast + %d shared recycles, %d refills",
+		lines[i] = fmt.Sprintf("endpoint %v on %s (%s): %d syscalls, %d mmsg batches, %d gso segments, %d gro batches, %d uring submits, %d ring drops, rx pool: %d allocs, %d fast + %d shared recycles, %d refills",
 			tr.LocalAddr(), tr.BoundAddr(), tr.Engine(),
 			tr.Syscalls.Load(), tr.MmsgBatches.Load(),
-			tr.GsoSegments.Load(), tr.GroBatches.Load(), tr.Drops.Load(),
+			tr.GsoSegments.Load(), tr.GroBatches.Load(),
+			tr.UringSubmits.Load(), tr.Drops.Load(),
 			ps.News, ps.FastPuts, ps.SharedPuts, ps.Refills)
 	}
 	return lines
@@ -434,6 +476,24 @@ func UDPGsoStats(trs []*transport.UDP) (gsoSegments, groBatches, groAliasedSegs 
 		groAliasedSegs += tr.GroAliasedSegs.Load()
 	}
 	return gsoSegments, groBatches, groAliasedSegs
+}
+
+// UDPUringStats sums the io_uring counters over a process's UDP
+// transports: io_uring_enter calls that submitted SQEs, SQEs submitted
+// as part of multi-SQE linked TX chains, CQ reaps that harvested more
+// than one completion, and enters forced only to wake a parked SQPOLL
+// thread. Zero-syscall operation shows up as these growing while the
+// transports' Syscalls counter does not. All are zero unless the uring
+// engine ran (see UDPUringSupported). The erpc-server/-client commands
+// report these at exit; close the transports first for exact counts.
+func UDPUringStats(trs []*transport.UDP) (submits, sqeLinked, cqeBatches, sqpollWakeups uint64) {
+	for _, tr := range trs {
+		submits += tr.UringSubmits.Load()
+		sqeLinked += tr.UringSqeLinked.Load()
+		cqeBatches += tr.UringCqeBatches.Load()
+		sqpollWakeups += tr.UringSqpollWakeups.Load()
+	}
+	return submits, sqeLinked, cqeBatches, sqpollWakeups
 }
 
 // NewFaultyTransport wraps t with send-side fault injection (drops,

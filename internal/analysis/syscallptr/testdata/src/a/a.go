@@ -36,3 +36,15 @@ func rebuilt(u uintptr) unsafe.Pointer {
 	// u crossed a statement boundary somewhere: the object may be gone.
 	return unsafe.Pointer(u) // want `not derived in the same expression`
 }
+
+type sqe struct {
+	addr uint64
+}
+
+func storedInSqeWord(s *sqe) {
+	// The io_uring idiom: an address parked in a submission-queue
+	// entry outlives the statement (the kernel reads it later), so the
+	// store is flagged unless the pointee's lifetime is argued with an
+	// //erpc:ignore (see the clean package).
+	s.addr = uint64(uintptr(unsafe.Pointer(&x))) // want `stored in a variable`
+}

@@ -26,3 +26,15 @@ func comparedNotStored(p unsafe.Pointer) bool {
 func ignored() uintptr {
 	return uintptr(unsafe.Pointer(&buf[0])) //erpc:ignore handed to the test harness which pins buf
 }
+
+type sqe struct {
+	addr uint64
+}
+
+func sqeWordIgnored(s *sqe) {
+	// The accepted shape of the io_uring idiom: the store into the SQE
+	// word is centralized and the pointee's lifetime argued in one
+	// reasoned ignore (transport's sqeSetAddr).
+	//erpc:ignore the pointee is engine-owned preallocated memory that outlives the submission, and Go's GC does not move heap objects
+	s.addr = uint64(uintptr(unsafe.Pointer(&buf[0])))
+}

@@ -58,6 +58,16 @@ type UDPSyscallResult struct {
 	// at zero.
 	GroAliasedSegs uint64 `json:"gro_aliased_segs,omitempty"`
 	GroCopiedSegs  uint64 `json:"gro_copied_segs,omitempty"`
+	// Uring* are the io_uring engine's counters summed over both
+	// sockets (uring engine only): enters that submitted SQEs, SQEs
+	// submitted inside multi-SQE linked TX chains, CQ reaps that
+	// harvested more than one completion, and enters forced only to
+	// wake a parked SQPOLL thread. Zero-syscall operation shows up as
+	// these growing while SyscallsPerOp stays near zero.
+	UringSubmits       uint64 `json:"uring_submits,omitempty"`
+	UringSqeLinked     uint64 `json:"uring_sqe_linked,omitempty"`
+	UringCqeBatches    uint64 `json:"uring_cqe_batches,omitempty"`
+	UringSqpollWakeups uint64 `json:"uring_sqpoll_wakeups,omitempty"`
 	// ZeroCopyTxPerOp is the msgbuf-aliased (uncopied) TX frames per
 	// completed RPC, summed over both endpoints — 2.0 when every
 	// request packet 0 (client) and every response packet 0 (server)
@@ -193,6 +203,10 @@ func udpEchoMeasure(newTr func(transport.Addr, string) (*transport.UDP, error), 
 	gro0 := srvTr.GroBatches.Load() + cliTr.GroBatches.Load()
 	ali0 := srvTr.GroAliasedSegs.Load() + cliTr.GroAliasedSegs.Load()
 	cop0 := srvTr.GroCopiedSegs.Load() + cliTr.GroCopiedSegs.Load()
+	usub0 := srvTr.UringSubmits.Load() + cliTr.UringSubmits.Load()
+	ulnk0 := srvTr.UringSqeLinked.Load() + cliTr.UringSqeLinked.Load()
+	ucqe0 := srvTr.UringCqeBatches.Load() + cliTr.UringCqeBatches.Load()
+	uwak0 := srvTr.UringSqpollWakeups.Load() + cliTr.UringSqpollWakeups.Load()
 	zc0 := readZC()
 	t0 := time.Now()
 	runN(total - warm)
@@ -213,6 +227,11 @@ func udpEchoMeasure(newTr func(transport.Addr, string) (*transport.UDP, error), 
 			cliTr.GroAliasedSegs.Load() - ali0,
 		GroCopiedSegs: srvTr.GroCopiedSegs.Load() +
 			cliTr.GroCopiedSegs.Load() - cop0,
+		UringSubmits:    srvTr.UringSubmits.Load() + cliTr.UringSubmits.Load() - usub0,
+		UringSqeLinked:  srvTr.UringSqeLinked.Load() + cliTr.UringSqeLinked.Load() - ulnk0,
+		UringCqeBatches: srvTr.UringCqeBatches.Load() + cliTr.UringCqeBatches.Load() - ucqe0,
+		UringSqpollWakeups: srvTr.UringSqpollWakeups.Load() +
+			cliTr.UringSqpollWakeups.Load() - uwak0,
 	}
 	if wall > 0 {
 		res.Krps = float64(measured) / wall.Seconds() / 1e3

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"repro/internal/transport"
+)
+
+// The uring benchmark measures the io_uring UDP datapath: the windowed
+// small-RPC loopback workload run over the gso engine (one sendmsg
+// with UDP_SEGMENT per burst — the best syscall-per-burst engine, the
+// "before") and over the uring engine (bursts published to a shared
+// submission ring as linked SENDMSG chains, RX re-armed READ_FIXED
+// SQEs over a registered slab, completions reaped from the CQ in
+// userspace — the "after"). With the kernel's SQPOLL thread awake, a
+// whole burst crosses the kernel with zero syscalls, so syscalls/op —
+// the controlled measure of every sweep in this series — drops below
+// even the one-syscall-per-burst floor the batching engines bottom out
+// at. The uring counters (submits, linked SQEs, batched CQ reaps,
+// SQPOLL wakeups) show how the remaining kernel crossings are spent:
+// steady-state rows have near-zero submits and a few wakeups, the
+// signature of doorbell-style operation (paper §4.2's "the NIC is the
+// doorbell" discipline, here applied to a kernel socket).
+//
+// Where the gso comparison needed multi-frame bursts to exist (its
+// wins come from coalescing), the uring win is per-kernel-crossing and
+// shows at every window; the sweep keeps the same 4/8/16 grid so rows
+// line up across BENCH files. cmd/erpc-bench -uring records the sweep
+// in BENCH_uring.json.
+
+// UringRuntimeSupported mirrors the transport gate for the bench
+// harness: whether the io_uring engine exists in this binary AND this
+// kernel accepts ring setup.
+func UringRuntimeSupported() bool {
+	return transport.UringSupported && transport.UDPUringSupported()
+}
+
+// UringWindows is the in-flight-request sweep, aligned with GsoWindows
+// so before/after rows compare point-for-point across artifacts.
+var UringWindows = []int{4, 8, 16}
+
+// UringSweep runs the before/after sweep: the auto (gso where
+// supported, else mmsg) engine across every window, then the uring
+// engine (when the build and kernel support it; uring is nil
+// otherwise). Each point is measured several times and the best run
+// kept — loopback RPC wall time on small hosts is scheduler-bound and
+// bimodal (see the udpsyscall sweep) — while syscalls/op and the ring
+// counters are stable across modes. Rows print as they are measured.
+func UringSweep(opts Options, printf func(format string, a ...any)) (gso, uring []UDPSyscallResult) {
+	if printf == nil {
+		printf = func(string, ...any) {}
+	}
+	const reps = 5
+	row := func(newTr func(transport.Addr, string) (*transport.UDP, error), w int) UDPSyscallResult {
+		best := udpEchoMeasure(newTr, w, opts)
+		for i := 1; i < reps; i++ {
+			if m := udpEchoMeasure(newTr, w, opts); m.Krps > best.Krps {
+				best = m
+			}
+		}
+		printf("engine=%-10s window=%-2d  %8.1f krps  %6.2f syscalls/op  %6d submits  %6d linked sqes  %5d cq batches  %4d sqpoll wakeups (best of %d)\n",
+			best.Engine, best.Window, best.Krps, best.SyscallsPerOp,
+			best.UringSubmits, best.UringSqeLinked, best.UringCqeBatches,
+			best.UringSqpollWakeups, reps)
+		best.BestOf = reps
+		return best
+	}
+	for _, w := range UringWindows {
+		gso = append(gso, row(transport.NewUDP, w))
+	}
+	if !UringRuntimeSupported() {
+		return gso, nil
+	}
+	for _, w := range UringWindows {
+		uring = append(uring, row(transport.NewUDPUring, w))
+	}
+	return gso, uring
+}
+
+// UringTxBlastSweep measures TX blast capacity on the auto engine and
+// the uring engine (uring nil when unsupported), best of 3 runs each.
+// The auto engine pays one syscall per 16-frame burst; the uring row
+// shows how far below that floor linked-chain submission gets once the
+// SQPOLL thread picks bursts up from shared memory.
+func UringTxBlastSweep(opts Options, printf func(format string, a ...any)) (gso, uring *UDPTxBlastResult) {
+	if printf == nil {
+		printf = func(string, ...any) {}
+	}
+	const reps = 3
+	row := func(newTr func(transport.Addr, string) (*transport.UDP, error)) *UDPTxBlastResult {
+		best := udpTxBlast(newTr, opts)
+		for i := 1; i < reps; i++ {
+			if m := udpTxBlast(newTr, opts); m.Mpps > best.Mpps {
+				best = m
+			}
+		}
+		best.BestOf = reps
+		printf("engine=%-10s tx blast   %8.2f Mpps  %6.2f syscalls/pkt  %6.1f segments/syscall (best of %d)\n",
+			best.Engine, best.Mpps, best.SyscallsPerOp, best.SegsPerSyscall, reps)
+		return &best
+	}
+	gso = row(transport.NewUDP)
+	if UringRuntimeSupported() {
+		uring = row(transport.NewUDPUring)
+	}
+	return gso, uring
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package transport
+
+// RaceEnabled reports whether this build carries the race detector.
+// See race_on.go for why some timing-sensitive tests consult it.
+const RaceEnabled = false

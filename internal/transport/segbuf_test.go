@@ -21,6 +21,27 @@ func mkSegs(sb *SegBuf, n, stride int) int {
 	return n * stride
 }
 
+// newSplitUDP builds a UDP whose rxPool and RX ring are driven solely
+// by the test goroutine: no socket, no reader goroutine. splitRxSegs
+// runs on the reader goroutine in production — the pool's single
+// owner — so a test calling it directly must BE the only pool user; a
+// live transport's reader takes its startup buffer from the same pool
+// and the race detector (rightly) flags the two unsynchronized Gets.
+func newSplitUDP() *UDP {
+	u := &UDP{
+		local:      Addr{Node: 1},
+		mtu:        DefaultUDPMTU,
+		peers:      map[Addr]udpDest{},
+		done:       make(chan struct{}),
+		readerDone: make(chan struct{}),
+		rxPool:     NewPool(udpHdrLen+DefaultUDPMTU, udpRingCap+64),
+		txScratch:  make([]byte, udpHdrLen+DefaultUDPMTU),
+	}
+	u.eng = &perPacketEngine{u: u}
+	close(u.readerDone)
+	return u
+}
+
 func drainRing(u *UDP) []Frame {
 	var out []Frame
 	var fr [64]Frame
@@ -39,11 +60,7 @@ func drainRing(u *UDP) []Frame {
 // and the buffer recycles to its pool exactly once, when the last
 // segment frame is released.
 func TestSplitRxSegsAliasesSupersegment(t *testing.T) {
-	u, err := NewUDPPerPacket(Addr{Node: 1}, "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer u.Close()
+	u := newSplitUDP()
 	sp := newSegPool(1024, 4)
 	sb := sp.get()
 	const stride = 20
@@ -100,11 +117,7 @@ func TestSplitRxSegsAliasesSupersegment(t *testing.T) {
 // strides, short trailing segments, sub-header segments and
 // out-of-range lengths must neither panic nor mis-slice.
 func TestSplitRxSegsMalformed(t *testing.T) {
-	u, err := NewUDPPerPacket(Addr{Node: 1}, "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer u.Close()
+	u := newSplitUDP()
 	sp := newSegPool(1024, 16)
 
 	t.Run("zero-stride", func(t *testing.T) {
@@ -194,11 +207,7 @@ func TestSplitRxSegsMalformed(t *testing.T) {
 // instead of pinning unbounded memory, and aliasing resumes when a
 // buffer is released.
 func TestSplitRxSegsAliasBudget(t *testing.T) {
-	u, err := NewUDPPerPacket(Addr{Node: 1}, "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer u.Close()
+	u := newSplitUDP()
 	sp := newSegPool(1024, 1)
 
 	sb1 := sp.get()
@@ -263,11 +272,7 @@ func TestSegBufConcurrentRelease(t *testing.T) {
 // releasing every delivered frame no SegBuf reference remains
 // outstanding (even when ring overflow drops segments mid-split).
 func FuzzSplitRxSegs(f *testing.F) {
-	u, err := NewUDPPerPacket(Addr{Node: 1}, "127.0.0.1:0")
-	if err != nil {
-		f.Fatal(err)
-	}
-	defer u.Close()
+	u := newSplitUDP()
 	sp := newSegPool(1<<16, 8)
 	var sb *SegBuf
 

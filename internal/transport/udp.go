@@ -29,8 +29,17 @@ import (
 //
 // # Syscall engines
 //
-// The socket I/O itself is pluggable between three engines:
+// The socket I/O itself is pluggable between four engines:
 //
+//   - uring (Linux amd64/arm64, opt-in via NewUDPUring where the
+//     kernel supports io_uring — see UringSupported and
+//     UDPUringSupported): submission/completion rings shared with the
+//     kernel replace per-burst syscalls entirely. TX bursts become
+//     linked SENDMSG SQE chains published with one io_uring_enter —
+//     or zero syscalls when the SQPOLL kernel thread is awake — and
+//     RX re-posts READ_FIXED SQEs into a kernel-registered buffer
+//     slab, reaping completions from the CQ in userspace. The park/
+//     wake boundary moves from per-burst to per-idle-transition.
 //   - gso (Linux, default where the kernel supports UDP_SEGMENT/
 //     UDP_GRO — see GsoSupported and UDPGsoSupported): the mmsg engine
 //     plus segmentation offload. TX coalesces consecutive same-peer
@@ -118,6 +127,25 @@ type UDP struct {
 	// amortize) count under neither.
 	GroAliasedSegs atomic.Uint64
 	GroCopiedSegs  atomic.Uint64
+
+	// io_uring engine counters, all zero on other engines. On the uring
+	// engine every io_uring_enter invocation also counts under Syscalls,
+	// so syscalls_per_op stays the controlled cross-engine measure.
+	//
+	// UringSubmits counts enter calls that handed SQEs to the kernel —
+	// on the SQPOLL path submission happens without a syscall, so the
+	// gap between bursts sent and UringSubmits is the syscalls the
+	// shared rings removed. UringSqeLinked counts TX SQEs submitted as
+	// members of a multi-SQE linked chain (one chain per burst).
+	// UringCqeBatches counts CQ reap passes that harvested more than
+	// one completion — the RX-side coalescing proof, the uring analogue
+	// of MmsgBatches/GroBatches. UringSqpollWakeups counts enter calls
+	// forced by IORING_SQ_NEED_WAKEUP (the SQPOLL kernel thread had
+	// parked); a busy steady state keeps it near zero.
+	UringSubmits       atomic.Uint64
+	UringSqeLinked     atomic.Uint64
+	UringCqeBatches    atomic.Uint64
+	UringSqpollWakeups atomic.Uint64
 }
 
 // udpEngine is the socket-I/O strategy: how bursts reach the kernel
@@ -148,12 +176,15 @@ type udpDest struct {
 // the 4-byte source prefix) that returns to the pool on Release; data
 // is the frame payload aliasing buf's tail. When seg is non-nil the
 // packet instead aliases one segment of a refcounted GRO supersegment
-// (buf is nil) and releasing it drops one SegBuf reference.
+// (buf is nil) and releasing it drops one SegBuf reference. When ub is
+// non-nil the packet aliases a kernel-registered io_uring RX slot (buf
+// is nil) and releasing it re-posts the slot's read.
 type udpPkt struct {
 	buf  []byte
 	data []byte
 	from Addr
 	seg  *SegBuf
+	ub   *uringBuf
 }
 
 // DefaultUDPMTU bounds frames to a safe datagram size.
@@ -171,13 +202,20 @@ const (
 )
 
 // Engine choices for the internal constructors: the best available
-// engine (gso → mmsg → per-packet), mmsg-at-best (the gso engine
-// skipped, for before/after comparisons), or the portable per-packet
-// engine.
+// syscall engine (gso → mmsg → per-packet), mmsg-at-best (the gso
+// engine skipped, for before/after comparisons), the portable
+// per-packet engine, or the opt-in io_uring engine (with and without
+// the SQPOLL kernel thread; both fall back gso → mmsg → per-packet
+// when io_uring is unavailable). engAuto deliberately excludes uring:
+// shared-ring submission is a different kernel interface with its own
+// resource footprint (a pinned buffer slab and, under SQPOLL, a
+// kernel polling thread), so callers choose it explicitly.
 const (
 	engAuto = iota
 	engMmsg
 	engPerPacket
+	engUring
+	engUringNoSqpoll
 )
 
 // NewUDP binds a UDP socket at bind (e.g. "127.0.0.1:0") and returns a
@@ -206,6 +244,27 @@ func NewUDPMmsg(local Addr, bind string) (*UDP, error) {
 // the fallback path is exercised by tests on Linux.
 func NewUDPPerPacket(local Addr, bind string) (*UDP, error) {
 	return newUDP(local, bind, engPerPacket)
+}
+
+// NewUDPUring binds a UDP socket like NewUDP but selects the io_uring
+// engine: TX bursts as linked SQE chains (one io_uring_enter per
+// burst, zero when the SQPOLL kernel thread is awake) and RX through
+// kernel-registered buffers reaped from the completion queue in
+// userspace. io_uring is opt-in rather than part of NewUDP's auto
+// selection; where the kernel lacks io_uring support (see
+// UDPUringSupported) or the build carries the `nouring` tag, the
+// transport falls back to the best syscall engine (gso → mmsg →
+// per-packet) and Engine reports which one it got.
+func NewUDPUring(local Addr, bind string) (*UDP, error) {
+	return newUDP(local, bind, engUring)
+}
+
+// NewUDPUringNoSqpoll is NewUDPUring without the SQPOLL kernel polling
+// thread: every flush pays one io_uring_enter instead of zero. It
+// exists so the SQPOLL contribution can be measured in one process and
+// so tests can pin the exactly-one-enter-per-burst contract.
+func NewUDPUringNoSqpoll(local Addr, bind string) (*UDP, error) {
+	return newUDP(local, bind, engUringNoSqpoll)
 }
 
 func newUDP(local Addr, bind string, choice int) (*UDP, error) {
@@ -238,6 +297,11 @@ func newUDPConn(local Addr, conn *net.UDPConn, choice int) *UDP {
 	switch {
 	case choice == engPerPacket:
 		u.eng = &perPacketEngine{u: u}
+	case choice == engUring || choice == engUringNoSqpoll:
+		// newUringEngine falls back gso → mmsg → per-packet itself when
+		// io_uring is unavailable (kernel too old, nouring build, ring
+		// setup refused at runtime).
+		u.eng = newUringEngine(u, choice == engUring)
 	case choice == engAuto && GsoSupported && UDPGsoSupported():
 		// newGsoEngine falls back to the default engine itself if the
 		// socket refuses UDP_GRO (e.g. an exotic socket type).
@@ -279,6 +343,17 @@ func ListenUDPShards(node uint16, bind string, n int) ([]*UDP, error) {
 // it backs the server cmds' -gso=false knob.
 func ListenUDPShardsMmsg(node uint16, bind string, n int) ([]*UDP, error) {
 	return listenUDPShards(node, bind, n, engMmsg)
+}
+
+// ListenUDPShardsUring is ListenUDPShards with the io_uring engine on
+// the shard sockets (see NewUDPUring); it backs the server cmds'
+// -uring knob. Each shard gets its own rings, registered buffer slab
+// and — where SQPOLL is granted — a kernel polling thread shared
+// across the shards' TX/RX rings, so no datapath state crosses
+// dispatch goroutines. Falls back per shard like NewUDPUring when
+// io_uring is unavailable.
+func ListenUDPShardsUring(node uint16, bind string, n int) ([]*UDP, error) {
+	return listenUDPShards(node, bind, n, engUring)
 }
 
 func listenUDPShards(node uint16, bind string, n, choice int) ([]*UDP, error) {
@@ -339,9 +414,10 @@ func listenShardsFallback(node uint16, bind string, n, choice int) ([]*UDP, erro
 	return shards, nil
 }
 
-// Engine reports which syscall engine this transport runs on: "gso"
-// (segmentation offload over sendmmsg/recvmmsg), "mmsg" (batched
-// sendmmsg/recvmmsg) or "per-packet".
+// Engine reports which syscall engine this transport runs on: "uring"
+// (io_uring shared-ring submission), "gso" (segmentation offload over
+// sendmmsg/recvmmsg), "mmsg" (batched sendmmsg/recvmmsg) or
+// "per-packet".
 func (u *UDP) Engine() string { return u.eng.name() }
 
 // BoundAddr returns the socket's actual address (useful with port 0).
@@ -465,6 +541,14 @@ func (u *UDP) enqueueSeg(sb *SegBuf, data []byte, from Addr) {
 	u.enqueuePkt(udpPkt{seg: sb, data: data, from: from})
 }
 
+// enqueueUring pushes one completed registered-buffer read into the RX
+// ring: data aliases ub's slot past the wire prefix, and the slot is
+// held by the ring entry until the frame's Release re-posts it
+// (released immediately on overflow).
+func (u *UDP) enqueueUring(ub *uringBuf, data []byte, from Addr) {
+	u.enqueuePkt(udpPkt{ub: ub, data: data, from: from})
+}
+
 // enqueuePkt pushes one received packet into the RX ring, recycling
 // its buffer on overflow. Runs on the reader goroutine, which owns
 // u.rxPool.
@@ -476,9 +560,12 @@ func (u *UDP) enqueuePkt(p udpPkt) {
 	if u.tail-u.head >= udpRingCap {
 		u.Drops.Add(1)
 		u.mu.Unlock()
-		if p.seg != nil {
+		switch {
+		case p.seg != nil:
 			p.seg.release()
-		} else {
+		case p.ub != nil:
+			p.ub.release()
+		default:
 			u.rxPool.Put(p.buf)
 		}
 		return
@@ -505,9 +592,12 @@ func (u *UDP) RecvBurst(frames []Frame) int {
 	n := 0
 	for n < len(frames) && u.head != u.tail {
 		p := &u.ring[u.head&udpRingMask]
-		if p.seg != nil {
+		switch {
+		case p.seg != nil:
 			frames[n] = Frame{Data: p.data, Addr: p.from, seg: p.seg}
-		} else {
+		case p.ub != nil:
+			frames[n] = Frame{Data: p.data, Addr: p.from, ub: p.ub}
+		default:
 			frames[n] = Frame{Data: p.data, Addr: p.from, pool: u.rxPool, base: p.buf, shared: true}
 		}
 		*p = udpPkt{}
@@ -534,9 +624,12 @@ func (u *UDP) Recv() ([]byte, Addr, bool) {
 	u.mu.Unlock()
 	out := make([]byte, len(p.data))
 	copy(out, p.data)
-	if p.seg != nil {
+	switch {
+	case p.seg != nil:
 		p.seg.release() // supersegment alias: drop its reference
-	} else {
+	case p.ub != nil:
+		p.ub.release() // registered slot: re-post its read
+	default:
 		u.rxPool.PutShared(p.buf) // caller is not the pool-owning reader
 	}
 	return out, p.from, true
@@ -549,6 +642,17 @@ func (u *UDP) SetWake(fn func()) {
 	u.mu.Unlock()
 }
 
+// engineShutdown is implemented by engines whose reader goroutine can
+// park somewhere a socket close does not reach (the io_uring engine's
+// reader waits on the completion queue, and registered files keep the
+// socket referenced past conn.Close). beginShutdown wakes such a
+// reader; finishShutdown, called after the reader has exited, releases
+// the engine's kernel resources.
+type engineShutdown interface {
+	beginShutdown()
+	finishShutdown()
+}
+
 // Close implements Transport. It is idempotent: closing an
 // already-closed transport is a no-op returning the first result.
 // Close joins the reader goroutine before returning, so afterwards the
@@ -558,7 +662,14 @@ func (u *UDP) Close() error {
 	u.closeOnce.Do(func() {
 		close(u.done)
 		u.closeErr = u.conn.Close()
+		s, hooked := u.eng.(engineShutdown)
+		if hooked {
+			s.beginShutdown()
+		}
 		<-u.readerDone
+		if hooked {
+			s.finishShutdown()
+		}
 	})
 	return u.closeErr
 }
@@ -578,6 +689,18 @@ func (u *UDP) closed() bool {
 	default:
 		return false
 	}
+}
+
+// uringFallbackEngine is the io_uring engine's graceful degradation
+// chain: the best syscall engine available — gso where the kernel
+// supports it, else the default (mmsg → per-packet) selection. Shared
+// by the runtime fallback in udp_uring_linux.go and the stub in
+// udp_uring_other.go.
+func uringFallbackEngine(u *UDP) udpEngine {
+	if GsoSupported && UDPGsoSupported() {
+		return newGsoEngine(u)
+	}
+	return newDefaultEngine(u)
 }
 
 // perPacketEngine is the portable fallback: one syscall per datagram

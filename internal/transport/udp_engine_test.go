@@ -102,6 +102,22 @@ func TestUDPEngineReported(t *testing.T) {
 	if got := p.Engine(); got != "per-packet" {
 		t.Fatalf("NewUDPPerPacket engine = %q", got)
 	}
+	// NewUDPUring gets the io_uring engine where compiled in and the
+	// kernel supports it, and otherwise falls back to exactly NewUDP's
+	// auto selection — this runs meaningfully under the nouring tag and
+	// on other platforms too.
+	r, err := NewUDPUring(Addr{4, 0}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	wantUring := want
+	if UringSupported && UDPUringSupported() {
+		wantUring = "uring"
+	}
+	if got := r.Engine(); got != wantUring {
+		t.Fatalf("NewUDPUring engine = %q, want %q", got, wantUring)
+	}
 }
 
 // sendRecvBurst pushes one n-frame burst a→b and drains it, returning

@@ -1,0 +1,871 @@
+//go:build linux && !nommsg && !nouring && (amd64 || arm64)
+
+package transport
+
+// The io_uring engine: shared submission/completion rings replace the
+// per-burst syscall entirely, the closest a kernel socket datapath
+// gets to the paper's doorbell-only NIC interface (§4.2). Where the
+// mmsg/gso engines amortize one kernel crossing over a burst, this
+// engine amortizes it over an entire busy period:
+//
+//   - TX: a burst becomes a chain of IOSQE_IO_LINK'ed SENDMSG SQEs
+//     published by moving the shared SQ tail. Without SQPOLL one
+//     io_uring_enter submits the chain; with SQPOLL the kernel's poll
+//     thread picks the chain up from shared memory and the flush is
+//     zero syscalls while it is awake. Sends are asynchronous: each
+//     payload is copied into an engine-owned TX slot first, so no SQE
+//     aliases a caller buffer, the SendBurst ownership contract holds
+//     at return, and the burst leaves while the kernel transmits —
+//     completions are reaped lazily and TX only blocks when all
+//     uringTxWindow slots are in flight.
+//   - RX: the engine registers one pinned buffer slab
+//     (IORING_REGISTER_BUFFERS) and keeps a READ_FIXED SQE in flight
+//     per slot — a re-armed READ chain, the software RQ. Completions
+//     are reaped from the CQ in userspace and handed to the RX ring
+//     in place; Frame.Release re-posts the slot's read, exactly like
+//     re-posting a NIC RX descriptor. The source address the mmsg
+//     engines never asked for (msg_name nil) is not needed here
+//     either: the 4-byte wire prefix identifies the sender, which is
+//     what lets RX use plain reads — and therefore registered buffers,
+//     which RECVMSG cannot use — instead of multishot recvmsg.
+//
+// The reader polls the CQ briefly before parking in
+// io_uring_enter(GETEVENTS), so on a busy loopback the park/wake
+// transition disappears along with the syscalls (see EXPERIMENTS.md on
+// the 1-vCPU bimodality). Like the mmsg engine, everything is built on
+// the stdlib syscall package — the hermetic build has no
+// golang.org/x/sys — with the io_uring syscall numbers (identical on
+// amd64 and arm64) defined below.
+
+import (
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// UringSupported reports whether the io_uring engine is compiled into
+// this binary (Linux amd64/arm64, no `nouring` or `nommsg` tag).
+const UringSupported = true
+
+// io_uring syscall numbers: the same on amd64 and arm64 (both adopted
+// the unified numbering for post-2019 syscalls), absent from the
+// stdlib syscall package on either.
+const (
+	sysIOUringSetup    = 425
+	sysIOUringEnter    = 426
+	sysIOUringRegister = 427
+)
+
+const (
+	// Setup flags.
+	uringSetupSQPoll   = 1 << 1 // IORING_SETUP_SQPOLL
+	uringSetupAttachWQ = 1 << 5 // IORING_SETUP_ATTACH_WQ
+
+	// Feature bits reported by io_uring_setup.
+	uringFeatSingleMmap = 1 << 0 // IORING_FEAT_SINGLE_MMAP
+
+	// mmap offsets selecting which ring region to map.
+	uringOffSQRing = 0
+	uringOffSQEs   = 0x10000000
+
+	// io_uring_enter flags.
+	uringEnterGetevents = 1 << 0 // IORING_ENTER_GETEVENTS
+	uringEnterSQWakeup  = 1 << 1 // IORING_ENTER_SQ_WAKEUP
+
+	// SQ ring flags (kernel-written word the engine polls).
+	uringSQNeedWakeup = 1 << 0 // IORING_SQ_NEED_WAKEUP
+
+	// Opcodes.
+	uringOpNop       = 0
+	uringOpReadFixed = 4
+	uringOpSendmsg   = 9
+
+	// SQE flags.
+	uringSqeFixedFile = 1 << 0 // IOSQE_FIXED_FILE
+	uringSqeIOLink    = 1 << 2 // IOSQE_IO_LINK
+
+	// io_uring_register opcodes.
+	uringRegisterBuffers = 0
+	uringRegisterFiles   = 2
+)
+
+const (
+	uringSqeSize = 64
+	uringCqeSize = 16
+
+	// uringRingEntries sizes both rings' SQs (CQs default to twice
+	// that): room for a full TX window, or every RX slot plus the
+	// shutdown NOP, without ever filling.
+	uringRingEntries = 128
+	// uringTxWindow bounds one linked chain; larger bursts flush in
+	// chunks (the core's default burst is 16).
+	uringTxWindow = 64
+	// uringRxSlots is the registered slab's slot count — the depth of
+	// the re-armed READ chain, the engine's RQ size.
+	uringRxSlots = 64
+	// uringSqIdleMs is how long the SQPOLL thread spins after the last
+	// SQE before parking (and raising IORING_SQ_NEED_WAKEUP).
+	uringSqIdleMs = 100
+	// Spin budgets before falling back to a blocking enter: each
+	// iteration yields the processor, so these bound cooperative
+	// yields, not busy-burned CPU.
+	uringTxSpinBudget = 64
+	uringRxSpinBudget = 128
+
+	// uringWakeUserData marks the shutdown NOP's completion.
+	uringWakeUserData = ^uint64(0)
+)
+
+// ioSqringOffsets mirrors struct io_sqring_offsets.
+type ioSqringOffsets struct {
+	head        uint32
+	tail        uint32
+	ringMask    uint32
+	ringEntries uint32
+	flags       uint32
+	dropped     uint32
+	array       uint32
+	resv1       uint32
+	userAddr    uint64
+}
+
+// ioCqringOffsets mirrors struct io_cqring_offsets.
+type ioCqringOffsets struct {
+	head        uint32
+	tail        uint32
+	ringMask    uint32
+	ringEntries uint32
+	overflow    uint32
+	cqes        uint32
+	flags       uint32
+	resv1       uint32
+	userAddr    uint64
+}
+
+// ioUringParams mirrors struct io_uring_params.
+type ioUringParams struct {
+	sqEntries    uint32
+	cqEntries    uint32
+	flags        uint32
+	sqThreadCPU  uint32
+	sqThreadIdle uint32
+	features     uint32
+	wqFd         uint32
+	resv         [3]uint32
+	sqOff        ioSqringOffsets
+	cqOff        ioCqringOffsets
+}
+
+// ioUringSqe mirrors the 64-byte struct io_uring_sqe, with the unions
+// flattened to the members this engine uses.
+type ioUringSqe struct {
+	opcode      uint8
+	flags       uint8
+	ioprio      uint16
+	fd          int32
+	off         uint64
+	addr        uint64
+	length      uint32
+	opFlags     uint32 // msg_flags / rw_flags union
+	userData    uint64
+	bufIndex    uint16
+	personality uint16
+	spliceFdIn  int32
+	addr3       uint64
+	pad2        uint64
+}
+
+// ioUringCqe mirrors the 16-byte struct io_uring_cqe.
+type ioUringCqe struct {
+	userData uint64
+	res      int32
+	flags    uint32
+}
+
+// uringRing is one io_uring instance: the ring fd, its two mmap'd
+// regions (metadata+arrays in one map thanks to
+// IORING_FEAT_SINGLE_MMAP, SQEs in the other), and the shared-memory
+// pointers the datapath touches. Shared words are accessed through
+// sync/atomic: Go's atomic store is the release the kernel's acquire
+// load pairs with (and vice versa), exactly the barrier discipline
+// liburing implements with smp_store_release/smp_load_acquire.
+type uringRing struct {
+	fd        int
+	sqEntries uint32
+
+	ringMem []byte
+	sqeMem  []byte
+
+	sqHead  *uint32 // kernel-advanced consume index
+	sqTail  *uint32 // engine-advanced produce index
+	sqMask  uint32
+	sqFlags *uint32 // kernel-written (IORING_SQ_NEED_WAKEUP)
+	sqeBase unsafe.Pointer
+
+	cqHead  *uint32 // engine-advanced consume index
+	cqTail  *uint32 // kernel-advanced produce index
+	cqMask  uint32
+	cqeBase unsafe.Pointer
+
+	// tailShadow is the engine-local produce index: SQEs are written
+	// against it and become visible only when publish stores it to the
+	// shared tail. Guarded by the lock that guards the ring's SQ
+	// (u.txMu for TX, rxSqMu for RX).
+	tailShadow uint32
+}
+
+// uringSetup creates one ring via io_uring_setup and maps it. wqFd
+// attaches to an existing ring's SQPOLL thread (IORING_SETUP_ATTACH_WQ)
+// so both rings share one polling kthread.
+func uringSetup(entries, flags uint32, wqFd int, sqIdleMs uint32) (*uringRing, error) {
+	var p ioUringParams
+	p.flags = flags
+	p.sqThreadIdle = sqIdleMs
+	p.wqFd = uint32(wqFd)
+	fd, _, errno := syscall.Syscall(sysIOUringSetup, uintptr(entries), uintptr(unsafe.Pointer(&p)), 0)
+	if errno != 0 {
+		return nil, errno
+	}
+	r := &uringRing{fd: int(fd), sqEntries: p.sqEntries}
+	if p.features&uringFeatSingleMmap == 0 {
+		// Pre-5.4 two-mmap layout: treat as unsupported rather than
+		// carrying a second code path for kernels that old.
+		r.destroy()
+		return nil, syscall.ENOSYS
+	}
+	sqSize := int(p.sqOff.array) + int(p.sqEntries)*4
+	cqSize := int(p.cqOff.cqes) + int(p.cqEntries)*uringCqeSize
+	size := sqSize
+	if cqSize > size {
+		size = cqSize
+	}
+	ringMem, err := syscall.Mmap(int(fd), uringOffSQRing, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+	if err != nil {
+		r.destroy()
+		return nil, err
+	}
+	r.ringMem = ringMem
+	sqeMem, err := syscall.Mmap(int(fd), uringOffSQEs, int(p.sqEntries)*uringSqeSize,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+	if err != nil {
+		r.destroy()
+		return nil, err
+	}
+	r.sqeMem = sqeMem
+	// Every shared pointer is derived with unsafe.Add from the mapped
+	// slices, so no naked uintptr ever crosses a statement (the
+	// syscallptr discipline).
+	base := unsafe.Pointer(&ringMem[0])
+	r.sqHead = (*uint32)(unsafe.Add(base, p.sqOff.head))
+	r.sqTail = (*uint32)(unsafe.Add(base, p.sqOff.tail))
+	r.sqMask = *(*uint32)(unsafe.Add(base, p.sqOff.ringMask))
+	r.sqFlags = (*uint32)(unsafe.Add(base, p.sqOff.flags))
+	r.cqHead = (*uint32)(unsafe.Add(base, p.cqOff.head))
+	r.cqTail = (*uint32)(unsafe.Add(base, p.cqOff.tail))
+	r.cqMask = *(*uint32)(unsafe.Add(base, p.cqOff.ringMask))
+	r.cqeBase = unsafe.Add(base, p.cqOff.cqes)
+	r.sqeBase = unsafe.Pointer(&sqeMem[0])
+	r.tailShadow = atomic.LoadUint32(r.sqTail)
+	// Identity-map the SQ index array once: ring entry i always names
+	// SQE slot i, so submission only ever moves the tail.
+	arr := unsafe.Slice((*uint32)(unsafe.Add(base, p.sqOff.array)), p.sqEntries)
+	for i := range arr {
+		arr[i] = uint32(i)
+	}
+	return r, nil
+}
+
+// destroy releases the ring: closing the fd tears down the io_uring
+// context (cancelling in-flight SQEs and dropping registered file and
+// buffer references), then the mappings go.
+func (r *uringRing) destroy() {
+	if r.fd >= 0 {
+		syscall.Close(r.fd)
+		r.fd = -1
+	}
+	if r.sqeMem != nil {
+		syscall.Munmap(r.sqeMem)
+		r.sqeMem = nil
+	}
+	if r.ringMem != nil {
+		syscall.Munmap(r.ringMem)
+		r.ringMem = nil
+	}
+}
+
+// claimSqe returns the next SQE slot, zeroed. Callers hold the ring's
+// SQ lock. The wait-for-space loop can only spin under SQPOLL (every
+// other path submits before the SQ can fill), where the kernel thread
+// drains the queue independently of this goroutine.
+func (r *uringRing) claimSqe() *ioUringSqe {
+	for r.tailShadow-atomic.LoadUint32(r.sqHead) >= r.sqEntries {
+		runtime.Gosched()
+	}
+	sqe := (*ioUringSqe)(unsafe.Add(r.sqeBase, uintptr(r.tailShadow&r.sqMask)*uringSqeSize))
+	*sqe = ioUringSqe{}
+	r.tailShadow++
+	return sqe
+}
+
+// publish makes every claimed SQE visible to the kernel: a release
+// store of the shadow tail.
+func (r *uringRing) publish() { atomic.StoreUint32(r.sqTail, r.tailShadow) }
+
+// needWakeup reports whether the SQPOLL thread has parked and must be
+// kicked with IORING_ENTER_SQ_WAKEUP to see newly published SQEs.
+func (r *uringRing) needWakeup() bool {
+	return atomic.LoadUint32(r.sqFlags)&uringSQNeedWakeup != 0
+}
+
+// sqeSetAddr stores p's address into an SQE's addr word, the io_uring
+// submission ABI (SQE address fields are plain u64). Centralizing the
+// conversion keeps the one legitimately stored uintptr in the package
+// at a single audited site.
+func sqeSetAddr(sqe *ioUringSqe, p unsafe.Pointer) {
+	//erpc:ignore io_uring ABI stores addresses as u64 SQE words; every pointee is engine-owned preallocated memory (msghdr/iovec arrays, the registered slab) that outlives the submission, and Go's GC does not move heap objects
+	sqe.addr = uint64(uintptr(p))
+}
+
+// uringRegister wraps io_uring_register for a small fixed-size
+// argument (registered files, registered buffers).
+func uringRegister(ringFd int, opcode uintptr, arg unsafe.Pointer, nrArgs int) error {
+	_, _, errno := syscall.Syscall6(sysIOUringRegister, uintptr(ringFd), opcode,
+		uintptr(arg), uintptr(nrArgs), 0, 0)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// Runtime probe, cached like UDPGsoSupported: one throwaway ring
+// answers whether the kernel has io_uring with the single-mmap layout
+// this engine requires (5.4+; io_uring may also be disabled wholesale
+// via sysctl or seccomp, which the probe detects as a setup failure).
+var (
+	uringProbeOnce sync.Once
+	uringProbeOK   bool
+)
+
+// UDPUringSupported reports whether the running kernel can back the
+// io_uring engine. The result is cached after the first probe.
+func UDPUringSupported() bool {
+	uringProbeOnce.Do(func() {
+		r, err := uringSetup(2, 0, 0, 0)
+		if err != nil {
+			return
+		}
+		r.destroy()
+		uringProbeOK = true
+	})
+	return uringProbeOK
+}
+
+// uringTestDisable forces newUringEngine down its fallback path; only
+// the fallback unit test flips it (the probe's sync.Once cache would
+// otherwise make the no-io_uring path untestable on modern kernels).
+var uringTestDisable = false
+
+// uringEngine is the io_uring syscall engine. TX state is guarded by
+// u.txMu (sendBurst's caller holds it); RX state belongs to the reader
+// goroutine, except the RX submission queue, which beginShutdown also
+// writes (under rxSqMu) to post the wake NOP.
+type uringEngine struct {
+	u      *UDP
+	is4    bool // AF_INET socket: sockaddrs must be sockaddr_in
+	sqpoll bool
+	down   bool // rings destroyed; set under u.txMu by finishShutdown
+
+	tx *uringRing
+	rx *uringRing
+
+	// TX state, guarded by u.txMu. Sends are asynchronous: SendBurst
+	// copies each payload into its slot of txSlab and publishes the
+	// chain without waiting, so no SQE ever aliases a caller buffer
+	// and the burst returns while the kernel (or the SQPOLL thread)
+	// transmits. Every per-message array is indexed by slot — a slot's
+	// msghdr, iovecs, sockaddr and payload stay untouched until its
+	// CQE returns the slot to txFree. prefix is the 4-byte source
+	// address shared by every message's first iovec entry.
+	thdrs  []syscall.Msghdr
+	tiovs  []syscall.Iovec // 2 per slot: prefix + slab payload
+	tnames []syscall.RawSockaddrInet6
+	txSlab []byte   // uringTxWindow slots of txSlot bytes each
+	txSlot int      // slot payload capacity (the socket MTU)
+	txFree []uint32 // slots whose CQE has been reaped
+	prefix [udpHdrLen]byte
+	lastTx *ioUringSqe // final SQE of the chain being built
+
+	// RX state, owned by the reader goroutine.
+	rxBufs        *uringRxPool
+	rxFree        []uint32 // reader scratch: slot indices to re-post
+	rxInFlight    int      // READ SQEs written and not yet reaped
+	rxUnsubmitted int      // written SQEs the kernel has not been told about (non-SQPOLL)
+
+	// rxSqMu serializes RX SQ writes between the reader goroutine and
+	// beginShutdown's wake NOP.
+	rxSqMu sync.Mutex
+}
+
+// newUringEngine builds the io_uring engine, falling back gso → mmsg →
+// per-packet when io_uring is unavailable (old kernel, sysctl'd off,
+// ring setup refused). sqpoll asks for the SQPOLL kernel thread; if
+// the kernel refuses it the engine retries with plain rings, where
+// every flush pays one io_uring_enter instead of zero.
+func newUringEngine(u *UDP, sqpoll bool) udpEngine {
+	if uringTestDisable || !UDPUringSupported() {
+		return uringFallbackEngine(u)
+	}
+	rc, err := u.conn.SyscallConn()
+	if err != nil {
+		return uringFallbackEngine(u)
+	}
+	sockFd := -1
+	if err := rc.Control(func(fd uintptr) { sockFd = int(fd) }); err != nil || sockFd < 0 {
+		return uringFallbackEngine(u)
+	}
+	la, _ := u.conn.LocalAddr().(*net.UDPAddr)
+	e := &uringEngine{
+		u:      u,
+		is4:    la != nil && la.IP.To4() != nil,
+		thdrs:  make([]syscall.Msghdr, uringTxWindow),
+		tiovs:  make([]syscall.Iovec, 2*uringTxWindow),
+		tnames: make([]syscall.RawSockaddrInet6, uringTxWindow),
+		txSlab: make([]byte, uringTxWindow*u.mtu),
+		txSlot: u.mtu,
+		txFree: make([]uint32, 0, uringTxWindow),
+		rxBufs: newUringRxPool(uringRxSlots, udpHdrLen+DefaultUDPMTU),
+		rxFree: make([]uint32, 0, uringRxSlots+1),
+	}
+	for i := uringTxWindow - 1; i >= 0; i-- {
+		e.txFree = append(e.txFree, uint32(i))
+	}
+	u.putHdr(e.prefix[:])
+	if err := e.setupRings(sockFd, sqpoll); err != nil {
+		if !sqpoll {
+			return uringFallbackEngine(u)
+		}
+		// SQPOLL can be refused (kernel config, privileges on pre-5.11
+		// kernels); plain rings still beat a syscall per packet.
+		if err := e.setupRings(sockFd, false); err != nil {
+			return uringFallbackEngine(u)
+		}
+	}
+	return e
+}
+
+// setupRings creates the TX and RX rings, registers the socket as
+// fixed file 0 on both (SQPOLL submission requires registered files),
+// and registers the RX slab as the rings' one fixed buffer. Under
+// sqpoll the RX ring attaches to the TX ring's poll thread
+// (IORING_SETUP_ATTACH_WQ), so one kernel thread serves both SQs — two
+// per transport would thrash small hosts.
+func (e *uringEngine) setupRings(sockFd int, sqpoll bool) error {
+	var flags uint32
+	if sqpoll {
+		flags = uringSetupSQPoll
+	}
+	tx, err := uringSetup(uringRingEntries, flags, 0, uringSqIdleMs)
+	if err != nil {
+		return err
+	}
+	rxFlags, wq := flags, 0
+	if sqpoll {
+		rxFlags |= uringSetupAttachWQ
+		wq = tx.fd
+	}
+	rx, err := uringSetup(uringRingEntries, rxFlags, wq, uringSqIdleMs)
+	if err != nil {
+		tx.destroy()
+		return err
+	}
+	fds := [1]int32{int32(sockFd)}
+	var iov syscall.Iovec
+	iov.Base = &e.rxBufs.slab[0]
+	iov.SetLen(len(e.rxBufs.slab))
+	err = uringRegister(tx.fd, uringRegisterFiles, unsafe.Pointer(&fds[0]), 1)
+	if err == nil {
+		err = uringRegister(rx.fd, uringRegisterFiles, unsafe.Pointer(&fds[0]), 1)
+	}
+	if err == nil {
+		err = uringRegister(rx.fd, uringRegisterBuffers, unsafe.Pointer(&iov), 1)
+	}
+	if err != nil {
+		rx.destroy()
+		tx.destroy()
+		return err
+	}
+	e.tx, e.rx, e.sqpoll = tx, rx, sqpoll
+	return nil
+}
+
+// uringSqpollActive reports whether the engine got its SQPOLL thread
+// (tests distinguish the zero-syscall path from the one-enter path).
+func (e *uringEngine) sqpollActive() bool { return e.sqpoll }
+
+func (e *uringEngine) name() string { return "uring" }
+
+// enter is the engine's single syscall site, counted under u.Syscalls
+// so syscalls_per_op stays comparable across engines. Syscall6, not
+// RawSyscall6, for the same reason as the mmsg engine: the scheduler's
+// enter/exitsyscall bracket is what hands the CPU to the peer's reader
+// on low-core-count hosts.
+func (e *uringEngine) enter(r *uringRing, submit, wait uint32, flags uintptr) (int, syscall.Errno) {
+	e.u.Syscalls.Add(1)
+	n, _, errno := syscall.Syscall6(sysIOUringEnter, uintptr(r.fd),
+		uintptr(submit), uintptr(wait), flags, 0, 0)
+	return int(n), errno
+}
+
+// sendBurst transmits the resolved burst as linked SENDMSG chains.
+// Callers hold u.txMu. Each frame's payload is copied into its TX
+// slot — ~100ns for a small RPC, and what buys the asynchrony: no SQE
+// aliases a caller buffer, so the burst is published and SendBurst
+// returns while the kernel (or the SQPOLL thread, with zero syscalls)
+// transmits. The burst only waits when all uringTxWindow slots are in
+// flight. Unknown peers, oversized frames and address-family
+// mismatches are dropped, like the other engines; a send that fails
+// in the kernel (and the chain links it cancels) is a dropped
+// datagram under the unreliable-transport contract.
+func (e *uringEngine) sendBurst(dsts []udpDest, frames []Frame) {
+	if e.down {
+		return
+	}
+	n := 0 // SQEs in the chain being built
+	for i := range frames {
+		ap := dsts[i].ap
+		data := frames[i].Data
+		if !ap.IsValid() || len(data) > e.u.mtu {
+			continue
+		}
+		if e.is4 && !ap.Addr().Is4() && !ap.Addr().Is4In6() {
+			continue
+		}
+		slot, ok := e.claimTxSlot(&n)
+		if !ok {
+			return // ring torn down under us: drop the rest
+		}
+		h := &e.thdrs[slot]
+		iv := e.tiovs[2*slot : 2*slot+2]
+		iv[0].Base = &e.prefix[0]
+		iv[0].SetLen(udpHdrLen)
+		if len(data) > 0 {
+			buf := e.txSlab[int(slot)*e.txSlot : int(slot)*e.txSlot+len(data)]
+			copy(buf, data)
+			iv[1].Base = &buf[0]
+			iv[1].SetLen(len(data))
+			h.Iovlen = 2
+		} else {
+			iv[1] = syscall.Iovec{}
+			h.Iovlen = 1
+		}
+		h.Iov = &iv[0]
+		h.Name = (*byte)(unsafe.Pointer(&e.tnames[slot]))
+		h.Namelen = putSockaddr(&e.tnames[slot], dsts[i], e.is4)
+		h.Control = nil
+		h.Controllen = 0
+		h.Flags = 0
+		sqe := e.tx.claimSqe()
+		sqe.opcode = uringOpSendmsg
+		sqe.flags = uringSqeFixedFile | uringSqeIOLink
+		sqe.fd = 0 // registered file index
+		sqeSetAddr(sqe, unsafe.Pointer(h))
+		sqe.length = 1
+		// No MSG_DONTWAIT: a send that would block parks inside the
+		// ring and completes when the socket drains, instead of
+		// surfacing EAGAIN for the engine to retry.
+		sqe.opFlags = syscall.MSG_NOSIGNAL
+		sqe.userData = uint64(slot)
+		e.lastTx = sqe
+		n++
+	}
+	if n > 0 {
+		e.flushTx(n)
+	}
+}
+
+// claimTxSlot pops a free TX slot, building toward a chain of *chain
+// SQEs. When every slot is in flight it flushes the chain under
+// construction (the kernel cannot complete unpublished SQEs) and
+// waits for one completion — the only time TX blocks. Returns false
+// if the wait fails (ring torn down).
+func (e *uringEngine) claimTxSlot(chain *int) (uint32, bool) {
+	spins := 0
+	for {
+		if k := len(e.txFree); k > 0 {
+			s := e.txFree[k-1]
+			e.txFree = e.txFree[:k-1]
+			return s, true
+		}
+		e.reapTx()
+		if len(e.txFree) > 0 {
+			continue
+		}
+		if *chain > 0 {
+			e.flushTx(*chain)
+			*chain = 0
+			continue
+		}
+		if spins < uringTxSpinBudget {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		// Out of slots with a full window in flight: wait for a CQE,
+		// waking the poll thread too if it parked mid-window.
+		flags := uintptr(uringEnterGetevents)
+		if e.sqpoll && e.tx.needWakeup() {
+			e.u.UringSqpollWakeups.Add(1)
+			flags |= uringEnterSQWakeup
+		}
+		if _, errno := e.enter(e.tx, 0, 1, flags); errno != 0 && errno != syscall.EINTR {
+			return 0, false
+		}
+	}
+}
+
+// flushTx publishes the chain of n SQEs. It does not wait for their
+// completions — the slots belong to the engine until their CQEs come
+// back, reaped opportunistically here and in claimTxSlot. Without
+// SQPOLL the publish costs one submitting io_uring_enter; with SQPOLL
+// it is a shared-memory store (plus a wakeup enter if the poll thread
+// parked) — the zero-syscall TX path.
+func (e *uringEngine) flushTx(n int) {
+	// The chain terminator: the last SQE must not link onward.
+	if e.lastTx != nil {
+		e.lastTx.flags &^= uringSqeIOLink
+		e.lastTx = nil
+	}
+	e.tx.publish()
+	if n > 1 {
+		e.u.UringSqeLinked.Add(uint64(n))
+	}
+	if e.sqpoll {
+		if e.tx.needWakeup() {
+			e.u.UringSqpollWakeups.Add(1)
+			e.enter(e.tx, uint32(n), 0, uringEnterSQWakeup)
+		}
+	} else {
+		e.u.UringSubmits.Add(1)
+		e.enter(e.tx, uint32(n), 0, 0)
+	}
+	e.reapTx() // opportunistic: keep the free list warm
+}
+
+// reapTx drains the TX CQ, returning each completion's slot to the
+// free list. Results are not inspected: a failed send is a dropped
+// datagram.
+func (e *uringEngine) reapTx() int {
+	r := e.tx
+	head := *r.cqHead
+	tail := atomic.LoadUint32(r.cqTail)
+	n := int(tail - head)
+	for ; head != tail; head++ {
+		cqe := (*ioUringCqe)(unsafe.Add(r.cqeBase, uintptr(head&r.cqMask)*uringCqeSize))
+		e.txFree = append(e.txFree, uint32(cqe.userData))
+	}
+	if n > 0 {
+		atomic.StoreUint32(r.cqHead, tail)
+		if n > 1 {
+			e.u.UringCqeBatches.Add(1)
+		}
+	}
+	return n
+}
+
+// readLoop is the reader-goroutine body: re-arm READ_FIXED SQEs for
+// every free slot, reap the CQ, hand completed slots to the RX ring in
+// place, and only park when a poll of the CQ comes up dry.
+//
+//erpc:owner
+func (e *uringEngine) readLoop() {
+	u := e.u
+	for {
+		if u.closed() {
+			return
+		}
+		e.repostRx()
+		if e.reapRx() > 0 {
+			continue
+		}
+		if e.spinRx() {
+			continue
+		}
+		e.parkRx()
+	}
+}
+
+// repostRx turns every released slot back into an in-flight READ_FIXED
+// SQE — re-posting the RX descriptors. Under SQPOLL publishing is
+// enough (plus a wakeup if the poll thread parked); without it the
+// SQEs ride along with the next blocking enter in parkRx, or get
+// flushed here once half the slab is waiting.
+func (e *uringEngine) repostRx() {
+	e.rxFree = e.rxBufs.takeFree(e.rxFree)
+	if len(e.rxFree) == 0 {
+		return
+	}
+	e.rxSqMu.Lock()
+	for _, idx := range e.rxFree {
+		ub := &e.rxBufs.slots[idx]
+		sqe := e.rx.claimSqe()
+		sqe.opcode = uringOpReadFixed
+		sqe.flags = uringSqeFixedFile
+		sqe.fd = 0 // registered file index
+		sqeSetAddr(sqe, unsafe.Pointer(&ub.buf[0]))
+		sqe.length = uint32(len(ub.buf))
+		sqe.bufIndex = 0 // the single registered iovec (the whole slab)
+		sqe.userData = uint64(idx)
+		ub.markPosted()
+	}
+	posted := len(e.rxFree)
+	e.rxFree = e.rxFree[:0]
+	e.rx.publish()
+	e.rxSqMu.Unlock()
+	e.rxInFlight += posted
+	if e.sqpoll {
+		if e.rx.needWakeup() {
+			e.u.UringSqpollWakeups.Add(1)
+			e.enter(e.rx, uint32(posted), 0, uringEnterSQWakeup)
+		}
+		return
+	}
+	e.rxUnsubmitted += posted
+	if e.rxUnsubmitted >= uringRxSlots/2 {
+		e.u.UringSubmits.Add(1)
+		e.enter(e.rx, uint32(e.rxUnsubmitted), 0, 0)
+		e.rxUnsubmitted = 0
+	}
+}
+
+// reapRx drains the RX CQ, handing each completed slot to the RX ring
+// in place (the payload aliases the registered slab; no copy). Runt
+// and errored reads recycle their slot directly.
+//
+//erpc:owner
+func (e *uringEngine) reapRx() int {
+	r := e.rx
+	u := e.u
+	head := *r.cqHead
+	tail := atomic.LoadUint32(r.cqTail)
+	n := 0
+	for ; head != tail; head++ {
+		cqe := (*ioUringCqe)(unsafe.Add(r.cqeBase, uintptr(head&r.cqMask)*uringCqeSize))
+		ud, res := cqe.userData, cqe.res
+		n++
+		if ud == uringWakeUserData {
+			continue // shutdown NOP: the loop head sees u.closed()
+		}
+		ub := &e.rxBufs.slots[ud]
+		e.rxInFlight--
+		if res < udpHdrLen {
+			// Read error or runt datagram: re-arm the slot.
+			ub.state.Store(uringBufFree)
+			e.rxFree = append(e.rxFree, ub.idx)
+			continue
+		}
+		buf := ub.buf[:res]
+		ub.markHeld()
+		u.enqueueUring(ub, buf[udpHdrLen:], parseHdr(buf))
+	}
+	if n > 0 {
+		atomic.StoreUint32(r.cqHead, head)
+		if n > 1 {
+			u.UringCqeBatches.Add(1)
+		}
+	}
+	return n
+}
+
+// spinRx polls the CQ briefly before parking, yielding between polls:
+// on a busy loopback the next completion lands within microseconds,
+// and catching it here removes the park/wake transition (and its
+// syscalls) from the steady state.
+func (e *uringEngine) spinRx() bool {
+	if e.rxInFlight == 0 || e.rxUnsubmitted > 0 {
+		return false
+	}
+	r := e.rx
+	for i := 0; i < uringRxSpinBudget; i++ {
+		if atomic.LoadUint32(r.cqTail) != *r.cqHead {
+			return true
+		}
+		if e.rxBufs.nfree.Load() > 0 {
+			return true // slots to re-arm; repostRx takes the lock
+		}
+		runtime.Gosched()
+	}
+	return false
+}
+
+// parkRx blocks until something happens: a completion (GETEVENTS
+// enter, which also submits any SQEs the kernel hasn't been told
+// about), or — when every slot is held downstream and nothing is in
+// flight — a Release pushing a slot back, signalled on the pool's wake
+// channel.
+func (e *uringEngine) parkRx() {
+	if e.u.closed() {
+		return
+	}
+	if e.rxInFlight == 0 && e.rxUnsubmitted == 0 {
+		select {
+		case <-e.rxBufs.wake:
+		case <-e.u.done:
+		}
+		return
+	}
+	flags := uintptr(uringEnterGetevents)
+	if e.sqpoll && e.rx.needWakeup() {
+		e.u.UringSqpollWakeups.Add(1)
+		flags |= uringEnterSQWakeup
+	}
+	submit := uint32(e.rxUnsubmitted)
+	if submit > 0 && !e.sqpoll {
+		e.u.UringSubmits.Add(1)
+	}
+	e.enter(e.rx, submit, 1, flags)
+	e.rxUnsubmitted = 0
+}
+
+// beginShutdown wakes the reader wherever it parked: a NOP completion
+// for a CQ wait, a channel signal for an all-slots-held wait. Runs
+// after u.done is closed, so the woken reader exits at its loop head.
+func (e *uringEngine) beginShutdown() {
+	e.rxSqMu.Lock()
+	sqe := e.rx.claimSqe()
+	sqe.opcode = uringOpNop
+	sqe.userData = uringWakeUserData
+	e.rx.publish()
+	e.rxSqMu.Unlock()
+	if e.sqpoll {
+		if e.rx.needWakeup() {
+			e.enter(e.rx, 1, 0, uringEnterSQWakeup)
+		}
+	} else {
+		// Submit everything pending (the reader's unsubmitted re-arms
+		// sit ahead of the NOP in the queue).
+		e.enter(e.rx, e.rx.sqEntries, 0, 0)
+	}
+	select {
+	case e.rxBufs.wake <- struct{}{}:
+	default:
+	}
+}
+
+// finishShutdown destroys the rings. It runs after the reader
+// goroutine has exited; taking u.txMu excludes a concurrent SendBurst,
+// and the down flag turns any later one into a no-op before it touches
+// the unmapped rings. Closing the ring fds cancels the in-flight READ
+// chain and any still-unsent TX slots (dropped datagrams, fine at
+// close) and drops the registered references that kept the socket
+// open past conn.Close.
+func (e *uringEngine) finishShutdown() {
+	e.u.txMu.Lock()
+	e.down = true
+	e.rx.destroy()
+	e.tx.destroy()
+	e.u.txMu.Unlock()
+}

@@ -1,0 +1,24 @@
+//go:build !linux || nommsg || nouring || (!amd64 && !arm64)
+
+package transport
+
+// Fallbacks for builds without the io_uring engine: other platforms,
+// the `nouring` opt-out tag, and `nommsg` builds (the engine shares
+// the mmsg engine's sockaddr helpers). NewUDPUring still exists and
+// quietly selects the best available syscall engine, so callers and
+// the -uring knobs work unconditionally.
+
+// UringSupported reports whether the io_uring engine is compiled into
+// this binary: false here (non-Linux, non-amd64/arm64, or the
+// `nouring`/`nommsg` build tags).
+const UringSupported = false
+
+// UDPUringSupported reports whether the running kernel can back the
+// io_uring engine; always false when the engine is not compiled in.
+func UDPUringSupported() bool { return false }
+
+// newUringEngine falls straight through to the syscall-engine chain
+// (gso → mmsg → per-packet) in builds without io_uring support.
+func newUringEngine(u *UDP, sqpoll bool) udpEngine {
+	return uringFallbackEngine(u)
+}

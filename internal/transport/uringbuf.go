@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file defines the registered-buffer RX lifetime used by the
+// io_uring engine (udp_uring_linux.go). It is compiled on every
+// platform — like SegBuf, the type is portable state machinery; only
+// the engine that drives it is build-tagged — so the erpcdebug
+// sanitizer hooks and their negative tests cover it everywhere.
+//
+// A uringBuf is one slot of a fixed slab that the engine registers
+// with the kernel (IORING_REGISTER_BUFFERS). Unlike pooled RX buffers,
+// a slot's memory can never be handed back to the garbage collector or
+// swapped for a fresh allocation: the kernel holds a pinned reference
+// for the ring's lifetime, and a READ SQE in flight means the kernel
+// may write the slot at any moment. The slot therefore cycles through
+// an explicit ownership state machine:
+//
+//	free   → the engine owns it; it is on the pool's repost list.
+//	posted → a READ SQE is in flight; the *kernel* owns the bytes.
+//	held   → its completion was handed to an RX Frame; the receiver
+//	         owns the bytes until Frame.Release.
+//
+// Release (CAS held→free) is the only legal transition off the
+// receiver; releasing a free slot (double release) or a posted slot
+// (the kernel still owns it) is a datapath corruption bug, which
+// builds with -tags erpcdebug turn into a panic naming the slot's
+// acquisition site (see debug_on.go).
+const (
+	uringBufFree int32 = iota
+	uringBufPosted
+	uringBufHeld
+)
+
+// uringBuf is one registered RX buffer slot.
+type uringBuf struct {
+	buf   []byte // this slot's slice of the registered slab
+	idx   uint32 // slot index (userData of its READ SQEs)
+	state atomic.Int32
+	rp    *uringRxPool
+
+	// dbg is the erpcdebug sanitizer state: zero-sized and inert in
+	// release builds (see debug_off.go / debug_on.go).
+	dbg uringBufDebug
+}
+
+// markPosted records that a READ SQE for this slot was queued: the
+// kernel owns the bytes until the completion arrives. Reader only.
+func (ub *uringBuf) markPosted() { ub.state.Store(uringBufPosted) }
+
+// markHeld hands the completed slot to an RX frame: the receiver owns
+// the bytes until release. Reader only.
+func (ub *uringBuf) markHeld() {
+	ub.state.Store(uringBufHeld)
+	uringDebugOnHold(ub)
+}
+
+// release returns a held slot to its pool's repost list and wakes the
+// reader if it parked waiting for slots. Called from Frame.Release on
+// whatever goroutine drains the RX ring. A release in any state but
+// held is a lifetime violation: ignored in release builds (matching
+// Frame.Release's already-released tolerance), a panic with the
+// acquisition site under -tags erpcdebug.
+func (ub *uringBuf) release() {
+	if ub.state.CompareAndSwap(uringBufHeld, uringBufFree) {
+		uringDebugOnFree(ub)
+		ub.rp.putFree(ub)
+		return
+	}
+	uringDebugBadRelease(ub, ub.state.Load())
+}
+
+// uringRxPool owns the registered RX slab and tracks which slots are
+// ready to re-post. The repost list is the analogue of a NIC's free
+// descriptor stack: releases push from the dispatch goroutine, the
+// reader drains it in one locked swap per pass and turns each entry
+// back into a READ SQE.
+type uringRxPool struct {
+	slab  []byte     // one contiguous allocation, registered as a single iovec
+	slots []uringBuf // fixed; slot i's buf aliases slab[i*bufCap:]
+
+	mu    sync.Mutex
+	free  []uint32     // slot indices ready to re-post
+	nfree atomic.Int32 // len(free) mirror for lock-free peeks (spinRx)
+
+	// wake signals the reader that a slot was freed, so a reader that
+	// parked with every slot held (nothing in flight to wait on) can
+	// resume posting. Capacity 1: it is a level trigger, not a count.
+	wake chan struct{}
+}
+
+// newUringRxPool allocates the slab and returns all slots on the
+// repost list.
+func newUringRxPool(nslots, bufCap int) *uringRxPool {
+	p := &uringRxPool{
+		slab:  make([]byte, nslots*bufCap),
+		slots: make([]uringBuf, nslots),
+		free:  make([]uint32, 0, nslots),
+		wake:  make(chan struct{}, 1),
+	}
+	for i := range p.slots {
+		ub := &p.slots[i]
+		ub.idx = uint32(i)
+		ub.buf = p.slab[i*bufCap : (i+1)*bufCap : (i+1)*bufCap]
+		ub.rp = p
+		p.free = append(p.free, uint32(i))
+	}
+	p.nfree.Store(int32(len(p.free)))
+	return p
+}
+
+// putFree pushes a freed slot onto the repost list and nudges the
+// reader. Any goroutine.
+func (p *uringRxPool) putFree(ub *uringBuf) {
+	p.mu.Lock()
+	p.free = append(p.free, ub.idx)
+	p.nfree.Store(int32(len(p.free)))
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// takeFree appends every repostable slot index to dst and clears the
+// list, returning the extended slice. Reader only (dst is the reader's
+// scratch; only the list access is locked).
+func (p *uringRxPool) takeFree(dst []uint32) []uint32 {
+	p.mu.Lock()
+	dst = append(dst, p.free...)
+	p.free = p.free[:0]
+	p.nfree.Store(0)
+	p.mu.Unlock()
+	return dst
+}

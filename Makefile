@@ -54,14 +54,19 @@ test-debug:
 # sweep: mmsg vs UDP_SEGMENT/UDP_GRO engines, syscalls/op,
 # segments/syscall, zero-copy TX accounting) and BENCH_uring.json (the
 # io_uring sweep: gso vs io_uring engines, syscalls/op and ring
-# counters — zero-syscall bursts under SQPOLL), then runs the full
-# reduced-scale benchmark suite once.
+# counters — zero-syscall bursts under SQPOLL) and BENCH_chaos.json
+# (the fault-tolerance chaos sweep: loss storm / blackhole / straggler
+# / dup burst / overload / graceful drain, per-phase goodput, recovery
+# time, budget counters and the at-most-once audit — full scale so the
+# retransmit and reject budgets exhaust inside the fault windows),
+# then runs the full reduced-scale benchmark suite once.
 bench:
 	$(GO) run ./cmd/erpc-bench -datapath BENCH_datapath.json -scale 0.25
 	$(GO) run ./cmd/erpc-bench -udpsyscall BENCH_udpsyscall.json -scale 0.5
 	$(GO) run ./cmd/erpc-bench -reuseport BENCH_reuseport.json -scale 0.5
 	$(GO) run ./cmd/erpc-bench -gso BENCH_gso.json -scale 0.5
 	$(GO) run ./cmd/erpc-bench -uring BENCH_uring.json -scale 0.5
+	$(GO) run ./cmd/erpc-bench -chaos BENCH_chaos.json
 	$(GO) test -bench . -benchtime 1x -run XXX .
 
 bench-quick:

@@ -32,6 +32,8 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/erpc"
 	"repro/internal/kv"
@@ -48,6 +50,7 @@ func main() {
 		gso       = flag.Bool("gso", true, "use the segmentation-offload UDP engine (UDP_SEGMENT supersegment TX + UDP_GRO coalesced RX) where the kernel supports it; false forces plain sendmmsg/recvmmsg")
 		uring     = flag.Bool("uring", false, "use the io_uring UDP engine (linked-SQE TX chains, registered-buffer RX, SQPOLL zero-syscall steady state) where the kernel supports it; overrides -gso")
 		adapt     = flag.Bool("adaptburst", false, "adapt the TX flush threshold to observed RX burst fill (AIMD): deeper batching under load, immediate flushes when idle")
+		drainTO   = flag.Duration("draintimeout", 5*time.Second, "graceful-drain deadline on SIGTERM: new work is rejected, admitted RPCs run to completion, then the process stops (SIGINT still stops immediately)")
 	)
 	flag.Parse()
 	if *shards < 0 {
@@ -149,9 +152,20 @@ func main() {
 	server := erpc.NewServer(nx, erpc.AdaptConfigs(erpc.BurstConfigs(erpc.UDPConfigs(trs), *burst), *adapt), *workers)
 	server.Start()
 	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
-	<-ch
-	server.Stop()
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	// SIGTERM drains gracefully: stop admitting work (arrivals draw
+	// PktReject), let every admitted RPC and queued zero-copy alias
+	// finish, then stop. SIGINT stops immediately.
+	if sig := <-ch; sig == syscall.SIGTERM {
+		fmt.Printf("SIGTERM: draining (deadline %v)\n", *drainTO)
+		if server.Drain(*drainTO) {
+			fmt.Println("drained: all admitted work completed")
+		} else {
+			fmt.Println("drain deadline exceeded: stopped with work in flight")
+		}
+	} else {
+		server.Stop()
+	}
 	st := server.Stats()
 	fmt.Printf("served %d handlers across %d endpoints, store holds %d keys\n",
 		st.HandlersRun, server.NumEndpoints(), store.Len())

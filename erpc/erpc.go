@@ -106,6 +106,15 @@ var (
 	ErrSessionClosed   = core.ErrSessionClosed
 	ErrTooManySessions = core.ErrTooManySessions
 	ErrReqTooBig       = core.ErrReqTooBig
+	// ErrTimeout: the request exhausted its Config.MaxRetransmits
+	// budget of consecutive timeouts without progress.
+	ErrTimeout = core.ErrTimeout
+	// ErrServerOverloaded: the server explicitly rejected the request
+	// (overload shedding or drain) past the Config.MaxRejects budget.
+	ErrServerOverloaded = core.ErrServerOverloaded
+	// ErrDraining: the endpoint is draining (Rpc.Drain / Server.Drain);
+	// no new sessions or requests are admitted.
+	ErrDraining = core.ErrDraining
 )
 
 // Defaults, re-exported.
@@ -116,6 +125,15 @@ const (
 	// DefaultBurstSize is the RX/TX burst: frames moved per event-loop
 	// iteration and per DMA-queue flush (Config.BurstSize overrides).
 	DefaultBurstSize = core.DefaultBurstSize
+	// DefaultRTOMin floors the adaptive per-session RTO estimate
+	// (Config.RTOMin overrides; Config.RTOMax defaults to 4x RTO).
+	DefaultRTOMin = core.DefaultRTOMin
+	// DefaultMaxRetransmits is the budget of consecutive timeouts
+	// without progress before ErrTimeout (Config.MaxRetransmits).
+	DefaultMaxRetransmits = core.DefaultMaxRetransmits
+	// DefaultMaxRejects is the budget of consecutive server rejections
+	// before ErrServerOverloaded (Config.MaxRejects).
+	DefaultMaxRejects = core.DefaultMaxRejects
 )
 
 // NewNexus returns an empty handler registry.
@@ -501,4 +519,17 @@ func UDPUringStats(trs []*transport.UDP) (submits, sqeLinked, cqeBatches, sqpoll
 // transport.Faulty.
 func NewFaultyTransport(t Transport, seed int64, drop, dup, reorder float64) *transport.Faulty {
 	return transport.NewFaulty(t, seed, drop, dup, reorder)
+}
+
+// ChaosPhase is one timed segment of a scripted fault scenario; see
+// transport.ChaosPhase.
+type ChaosPhase = transport.ChaosPhase
+
+// NewChaosTransport wraps t with the phase-scripted chaos engine
+// (deterministic seed; timed phases of loss storms, blackhole windows,
+// straggler latency and duplication bursts — clean wire once the
+// script ends). now supplies the engine's clock in nanoseconds; see
+// transport.Chaos.
+func NewChaosTransport(t Transport, seed int64, now func() int64, phases []ChaosPhase) *transport.Chaos {
+	return transport.NewChaos(t, seed, now, phases)
 }

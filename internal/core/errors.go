@@ -22,4 +22,16 @@ var (
 	// ErrNoHandler means the server has no handler registered for the
 	// request type.
 	ErrNoHandler = errors.New("erpc: no handler for request type")
+	// ErrTimeout means the request exhausted its retransmission budget
+	// (Config.MaxRetransmits consecutive timeouts without progress)
+	// without the peer being declared failed — e.g. a straggler that
+	// still answers heartbeats but stalls data.
+	ErrTimeout = errors.New("erpc: request timed out (retransmit budget exhausted)")
+	// ErrServerOverloaded means the server explicitly rejected the
+	// request (bounded backlog / in-flight ceiling / draining) more
+	// times than Config.MaxRejects allows.
+	ErrServerOverloaded = errors.New("erpc: server overloaded (reject budget exhausted)")
+	// ErrDraining means the endpoint is draining (Rpc.Drain): no new
+	// sessions or requests are admitted; in-flight work completes.
+	ErrDraining = errors.New("erpc: endpoint draining")
 )

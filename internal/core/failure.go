@@ -58,6 +58,12 @@ func (r *Rpc) FailPeer(node uint16) {
 		}
 		r.teardownSession(s, ErrPeerFailure)
 	}
+	// Reset liveness state: lastHeard would otherwise grow without
+	// bound under peer churn, and a stale entry would instantly re-fail
+	// a recovered peer on its next heartbeat round. Deleting it makes
+	// failure non-terminal — a later CreateSession to the node starts
+	// from the new-peer grace period (Appendix B).
+	delete(r.lastHeard, node)
 	// Client-teardown continuations may have queued new frames — a
 	// nested-RPC handler enqueueing its (zero-copy) response from a
 	// failed request's continuation lands here — so flush again before
@@ -103,22 +109,37 @@ func (r *Rpc) DestroySession(s *Session) {
 }
 
 // teardownSession fails every outstanding and queued request on s.
+// The session is put into its final, fully consistent state — failed,
+// credits restored to the configured limit, backlog detached — BEFORE
+// any continuation runs: continuations re-enter the Rpc (nested-RPC
+// handlers enqueue on other sessions, applications retry), and they
+// must never observe credits mid-reclaim or a backlog that is about to
+// be failed. Callers have already drained the rate-limiter wheel
+// (drainWheelFor) and flushed the TX batch, so no in-wheel or
+// in-flight packet still holds a share of the credit pool.
 func (r *Rpc) teardownSession(s *Session, err error) {
 	s.failed = true
+	if s.isClient {
+		r.deadClient++ // release the session's |RQ|/C budget share
+	}
+	backlog := s.backlog
+	s.backlog = nil
+	s.credits = r.cfg.Credits
+	conts := make([]func(error), 0, len(s.slots))
 	for i := range s.slots {
 		ss := &s.slots[i]
 		if !ss.busy {
 			continue
 		}
-		cont := ss.cont
+		conts = append(conts, ss.cont)
 		ss.reset()
+	}
+	for _, cont := range conts {
 		r.complete(cont, err)
 	}
-	for _, p := range s.backlog {
+	for _, p := range backlog {
 		r.complete(p.cont, err)
 	}
-	s.backlog = nil
-	s.credits = r.cfg.Credits
 }
 
 // drainWheelFor removes matching rate-limiter entries, releasing their

@@ -40,6 +40,8 @@ func (r *Rpc) processPkt(frame []byte, from transport.Addr) {
 		r.sendCtrl(from, wire.Header{PktType: wire.PktPong})
 	case wire.PktPong:
 		// lastHeard already updated.
+	case wire.PktReject:
+		r.onReject(h)
 	}
 }
 
@@ -84,6 +86,8 @@ func (r *Rpc) onCR(h *wire.Header) {
 		s.credits++
 	}
 	ss.lastProgress = r.now()
+	ss.consecRTO = 0
+	ss.rejects = 0
 	r.rttSample(s, ss.reqTxTimes[n])
 	r.trySendSlot(s, idx)
 	r.kickSession(s)
@@ -135,6 +139,8 @@ func (r *Rpc) onResp(h *wire.Header, payload []byte) {
 		r.rttSample(s, ss.respTxTimes[k])
 	}
 	ss.lastProgress = r.now()
+	ss.consecRTO = 0
+	ss.rejects = 0
 	// Copy the packet's data into the response msgbuf (§3.1: "the
 	// event loop copies it to the client's response msgbuf").
 	off := k * r.dataPerPkt
@@ -186,7 +192,9 @@ func (r *Rpc) popBacklog(s *Session, idx int) {
 	r.trySendSlot(s, idx)
 }
 
-// rttSample processes one RTT measurement at the client (§5.2.2).
+// rttSample processes one RTT measurement at the client (§5.2.2). The
+// same sample feeds both consumers of path delay: the Timely rate
+// controller and the adaptive RTO estimator.
 func (r *Rpc) rttSample(s *Session, txTime sim.Time) {
 	if txTime == 0 {
 		return
@@ -198,6 +206,7 @@ func (r *Rpc) rttSample(s *Session, txTime sim.Time) {
 	if r.RTTHook != nil {
 		r.RTTHook(rtt)
 	}
+	r.updateRTO(s, rtt)
 	if r.opts.DisableCC || s.cc.timely == nil {
 		return
 	}
@@ -219,6 +228,55 @@ func (r *Rpc) rttSample(s *Session, txTime sim.Time) {
 	tl.Update(rtt)
 }
 
+// updateRTO folds one RTT sample into the session's Jacobson/Karels
+// estimator: srtt <- srtt + (rtt-srtt)/8, rttvar <- rttvar +
+// (|rtt-srtt|-rttvar)/4, rto = srtt + 4*rttvar clamped to
+// [Config.RTOMin, Config.RTOMax]. The clamp floor keeps sub-RTT jitter
+// from triggering spurious go-back-N; the ceiling bounds recovery
+// latency on paths whose variance blew the estimate up.
+func (r *Rpc) updateRTO(s *Session, rtt sim.Time) {
+	if r.cfg.DisableAdaptiveRTO {
+		return
+	}
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+	} else {
+		d := rtt - s.srtt
+		if d < 0 {
+			d = -d
+		}
+		s.rttvar += (d - s.rttvar) / 4
+		s.srtt += (rtt - s.srtt) / 8
+	}
+	rto := s.srtt + 4*s.rttvar
+	if rto < r.cfg.RTOMin {
+		rto = r.cfg.RTOMin
+	}
+	if rto > r.cfg.RTOMax {
+		rto = r.cfg.RTOMax
+	}
+	s.rto = rto
+	r.Stats.RTOCur = uint64(rto)
+	if r.Stats.RTOMinSeen == 0 || uint64(rto) < r.Stats.RTOMinSeen {
+		r.Stats.RTOMinSeen = uint64(rto)
+	}
+	if uint64(rto) > r.Stats.RTOMaxSeen {
+		r.Stats.RTOMaxSeen = uint64(rto)
+	}
+}
+
+// backoffRTO scales a base timeout by 2^n, capped at 2^rtoBackoffCap:
+// successive retransmits (or rejects) of the same request wait
+// exponentially longer, so a dead or overloaded peer sees a trickle
+// instead of an RTO storm.
+func backoffRTO(base sim.Time, n int) sim.Time {
+	if n > rtoBackoffCap {
+		n = rtoBackoffCap
+	}
+	return base << uint(n)
+}
+
 // kickSession gives freed credits to other slots of the session.
 func (r *Rpc) kickSession(s *Session) {
 	if s.credits <= 0 {
@@ -235,10 +293,11 @@ func (r *Rpc) kickSession(s *Session) {
 }
 
 // trySendSlot transmits as many packets as the slot needs and the
-// session's credits allow.
+// session's credits allow. A slot parked in reject backoff (retryAt)
+// transmits nothing until the rtoScan un-parks it.
 func (r *Rpc) trySendSlot(s *Session, idx int) {
 	ss := &s.slots[idx]
-	if !ss.busy || s.failed {
+	if !ss.busy || s.failed || ss.retryAt != 0 {
 		return
 	}
 	for ss.reqSent < ss.numReqPkts && s.credits > 0 {
@@ -305,8 +364,9 @@ func (r *Rpc) pollWheel() {
 			e.buf.ReleaseTX()
 		}
 		ss := &e.sess.slots[e.slotIdx]
-		if e.sess.failed || !ss.busy || ss.reqNum != e.reqNum {
-			return // orphaned entry: slot finished or session failed
+		if e.sess.failed || !ss.busy || ss.reqNum != e.reqNum || ss.retryAt != 0 {
+			return // orphaned entry: slot finished, parked in reject
+			// backoff, or session failed
 		}
 		r.txClientPkt(e.sess, e.slotIdx, e.kind, e.pktNum)
 	})
@@ -544,20 +604,89 @@ func (r *Rpc) groupTXByPeer() {
 }
 
 // rtoScan checks outstanding requests for retransmission timeouts and
-// performs go-back-N rollback (§5.3).
+// performs go-back-N rollback (§5.3), with three fault-tolerance
+// layers on top of the paper's fixed-RTO scan: the timeout is the
+// session's adaptive estimate, successive timeouts of one request back
+// off exponentially, and Config.MaxRetransmits consecutive timeouts
+// without progress fail the request with ErrTimeout instead of
+// retrying forever. The scan also un-parks slots whose reject-backoff
+// delay (onReject) has expired.
 func (r *Rpc) rtoScan() {
 	now := r.now()
 	for _, s := range r.sessions {
 		if s.failed {
 			continue
 		}
+		base := s.rto
+		if base == 0 {
+			base = r.cfg.RTO
+		}
 		for i := range s.slots {
 			ss := &s.slots[i]
-			if ss.busy && ss.inFlight > 0 && now-ss.lastProgress > r.cfg.RTO {
-				r.rollback(s, i)
+			if !ss.busy {
+				continue
 			}
+			if ss.retryAt != 0 {
+				if now >= ss.retryAt {
+					ss.retryAt = 0
+					ss.lastProgress = now
+					r.trySendSlot(s, i)
+				}
+				continue
+			}
+			if ss.inFlight == 0 || now-ss.lastProgress <= backoffRTO(base, ss.consecRTO) {
+				continue
+			}
+			if r.cfg.MaxRetransmits >= 0 && ss.consecRTO >= r.cfg.MaxRetransmits {
+				r.Stats.BudgetExhausted++
+				r.failSlot(s, i, ErrTimeout)
+				continue
+			}
+			r.rollback(s, i)
 		}
 	}
+}
+
+// onReject handles an explicit server rejection (overload shedding or
+// drain). Instead of letting go-back-N hammer a server that told us it
+// is shedding load, the slot rewinds to retransmit from scratch,
+// returns its credits to the session, and parks for an exponentially
+// growing delay; Config.MaxRejects consecutive rejections fail the
+// request with ErrServerOverloaded.
+func (r *Rpc) onReject(h *wire.Header) {
+	s, ss, idx := r.clientSlot(h)
+	if s == nil {
+		return
+	}
+	r.Stats.RejectsRx++
+	if ss.retryAt != 0 {
+		// A multi-packet request draws one reject per transmitted
+		// packet; the slot is already parked.
+		return
+	}
+	// The server admitted nothing: reclaim every in-flight credit and
+	// rewind to the start of the request phase for the retry.
+	s.credits += ss.inFlight
+	ss.inFlight = 0
+	ss.reqSent = 0
+	ss.reqAcked = 0
+	ss.respNumPkts = 0
+	ss.respRcvd = 0
+	ss.rfrSent = 0
+	ss.rejects++
+	if r.cfg.MaxRejects >= 0 && ss.rejects > r.cfg.MaxRejects {
+		r.Stats.OverloadFails++
+		r.failSlot(s, idx, ErrServerOverloaded)
+		r.kickSession(s)
+		return
+	}
+	base := s.rto
+	if base == 0 {
+		base = r.cfg.RTO
+	}
+	ss.lastProgress = r.now()
+	ss.retryAt = r.now() + backoffRTO(base, ss.rejects-1)
+	r.kickSession(s) // the freed credits may serve other slots
 }
 
 // rollback reclaims credits, flushes the TX DMA queue (§4.2.2) and
@@ -567,6 +696,7 @@ func (r *Rpc) rollback(s *Session, idx int) {
 	r.Stats.Retransmits++
 	r.Stats.DMAFlushes++
 	ss.retransmits++
+	ss.consecRTO++
 	// Flush the TX DMA queue so no stale reference to the request
 	// msgbuf remains (the ≈2 µs flush that buys unsignaled
 	// transmission its 25% speedup the rest of the time) — literally,

@@ -35,6 +35,28 @@ const (
 	DefaultMaxMsg    = 8 << 20             // largest message size supported (§6.4)
 	DefaultBurstSize = 16                  // RX/TX burst size (§4.2.1: "RX and TX bursts of up to 16 packets")
 
+	// Adaptive RTO bounds (Jacobson/Karels estimation per session,
+	// Appendix B's timeout plane). The floor keeps the estimator from
+	// chasing sub-RTT jitter into spurious go-back-N storms — it
+	// matches the paper's static 5 ms RTO, so adaptation only ever
+	// raises the timeout above the §5.2.3 baseline (host scheduling
+	// jitter on a loaded machine routinely exceeds a converged sub-ms
+	// estimate). The ceiling (a multiple of the configured base RTO)
+	// bounds how long a lossy session can sleep between recovery
+	// attempts.
+	DefaultRTOMin = DefaultRTO
+	// DefaultMaxRetransmits is the budget of *consecutive* timeouts
+	// without progress before a request fails with ErrTimeout. Progress
+	// (any CR or response packet) resets the count, so lossy-but-live
+	// paths retry indefinitely; only a dead or blackholed path exhausts
+	// the budget.
+	DefaultMaxRetransmits = 32
+	// DefaultMaxRejects bounds consecutive explicit server rejections
+	// of one request before it fails with ErrServerOverloaded.
+	DefaultMaxRejects = 16
+	// rtoBackoffCap caps exponential RTO/reject backoff at 2^6 = 64x.
+	rtoBackoffCap = 6
+
 	rtoScanInterval = 100 * sim.Microsecond
 	wheelSlots      = 4096
 	wheelGran       = 200 * sim.Nanosecond
@@ -62,8 +84,34 @@ type Config struct {
 	// NumSlots is the number of concurrent requests per session; 0
 	// means DefaultNumSlots.
 	NumSlots int
-	// RTO is the retransmission timeout; 0 means DefaultRTO.
+	// RTO is the retransmission timeout used until a session has RTT
+	// samples (then the adaptive per-session estimate takes over); 0
+	// means DefaultRTO.
 	RTO sim.Time
+	// RTOMin / RTOMax clamp the adaptive per-session RTO (srtt +
+	// 4*rttvar, Jacobson-style). Zero means DefaultRTOMin and 4*RTO
+	// respectively.
+	RTOMin sim.Time
+	RTOMax sim.Time
+	// DisableAdaptiveRTO pins every session's RTO to Config.RTO.
+	DisableAdaptiveRTO bool
+	// MaxRetransmits is the budget of consecutive timeouts without
+	// progress before a request fails with ErrTimeout. 0 means
+	// DefaultMaxRetransmits; negative means unlimited (retry forever,
+	// the pre-budget behavior).
+	MaxRetransmits int
+	// MaxRejects is the budget of consecutive server rejections
+	// (PktReject) before a request fails with ErrServerOverloaded.
+	// 0 means DefaultMaxRejects; negative means unlimited.
+	MaxRejects int
+	// SrvInFlightLimit caps requests admitted server-wide (receiving or
+	// executing) across all server-mode sessions; past it new requests
+	// are rejected with PktReject. 0 means unlimited.
+	SrvInFlightLimit int
+	// SrvSessionBacklog caps requests admitted per server-mode session;
+	// past it new requests on that session are rejected. 0 means
+	// unlimited (bounded anyway by NumSlots).
+	SrvSessionBacklog int
 	// RQSize is the receive queue size used for the session budget
 	// |RQ|/C; 0 means DefaultRQSize.
 	RQSize int
@@ -130,6 +178,21 @@ func (c *Config) setDefaults() {
 	if c.RTO == 0 {
 		c.RTO = DefaultRTO
 	}
+	if c.RTOMin == 0 {
+		c.RTOMin = DefaultRTOMin
+	}
+	if c.RTOMax == 0 {
+		c.RTOMax = 4 * c.RTO
+	}
+	if c.RTOMax < c.RTOMin {
+		c.RTOMax = c.RTOMin
+	}
+	if c.MaxRetransmits == 0 {
+		c.MaxRetransmits = DefaultMaxRetransmits
+	}
+	if c.MaxRejects == 0 {
+		c.MaxRejects = DefaultMaxRejects
+	}
 	if c.RQSize == 0 {
 		c.RQSize = DefaultRQSize
 	}
@@ -177,6 +240,15 @@ type Stats struct {
 	HandlersRun    uint64
 	WorkerHandlers uint64
 	PeerFailures   uint64
+
+	// Fault-tolerance plane (Appendix B + overload shedding).
+	RTOCur          uint64 // gauge: most recently computed adaptive RTO, ns
+	RTOMinSeen      uint64 // gauge: smallest adaptive RTO computed, ns
+	RTOMaxSeen      uint64 // gauge: largest adaptive RTO computed, ns
+	BudgetExhausted uint64 // requests failed with ErrTimeout (retransmit budget)
+	RejectsTx       uint64 // server: PktReject sent (overload or draining)
+	RejectsRx       uint64 // client: PktReject received (delayed-retry backoff)
+	OverloadFails   uint64 // requests failed with ErrServerOverloaded (reject budget)
 }
 
 // Rpc is an eRPC endpoint: one per dispatch thread (paper §3.1). All
@@ -219,6 +291,10 @@ type Rpc struct {
 
 	lastHeard map[uint16]sim.Time // per-node liveness (Appendix B)
 	lastHB    sim.Time
+
+	draining    bool // Drain called: no new sessions or requests admitted
+	srvInFlight int  // server-wide requests admitted (receiving or executing)
+	deadClient  int  // failed client-mode sessions (excluded from the session budget)
 
 	scratch []byte // frame assembly buffer for non-first packets
 
@@ -377,9 +453,16 @@ func (r *Rpc) chargeBytes(n int) {
 }
 
 // CreateSession opens a client-mode session to the remote endpoint.
-// It fails when the session budget |RQ|/C is exhausted (§4.3.1).
+// It fails when the session budget |RQ|/C is exhausted (§4.3.1). Only
+// live sessions count against the budget: sessions torn down by
+// FailPeer or DestroySession release their RQ share, so a recovered
+// peer can be reconnected (Appendix B — failure is not terminal).
 func (r *Rpc) CreateSession(remote transport.Addr) (*Session, error) {
-	if (len(r.sessions)+len(r.srvSessions)+1)*r.cfg.Credits > r.cfg.RQSize {
+	if r.draining {
+		return nil, ErrDraining
+	}
+	live := len(r.sessions) - r.deadClient
+	if (live+len(r.srvSessions)+1)*r.cfg.Credits > r.cfg.RQSize {
 		return nil, ErrTooManySessions
 	}
 	if len(r.sessions) >= 1<<16 {
@@ -426,6 +509,12 @@ func (r *Rpc) EnqueueRequest(s *Session, reqType uint8, req, resp *msgbuf.Buf, c
 	}
 	if s.failed {
 		r.complete(cont, ErrSessionClosed)
+		return
+	}
+	if r.draining {
+		// Admitted work (busy slots, backlog) still completes; new
+		// requests are refused (graceful drain).
+		r.complete(cont, ErrDraining)
 		return
 	}
 	r.Stats.ReqsEnqueued++

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/transport"
 )
@@ -205,6 +206,21 @@ func (a *Stats) add(b *Stats) {
 	a.HandlersRun += b.HandlersRun
 	a.WorkerHandlers += b.WorkerHandlers
 	a.PeerFailures += b.PeerFailures
+	a.BudgetExhausted += b.BudgetExhausted
+	a.RejectsTx += b.RejectsTx
+	a.RejectsRx += b.RejectsRx
+	a.OverloadFails += b.OverloadFails
+	// The RTO fields are gauges, not counters: aggregate to the most
+	// conservative view (largest current, widest observed range).
+	if b.RTOCur > a.RTOCur {
+		a.RTOCur = b.RTOCur
+	}
+	if b.RTOMinSeen != 0 && (a.RTOMinSeen == 0 || b.RTOMinSeen < a.RTOMinSeen) {
+		a.RTOMinSeen = b.RTOMinSeen
+	}
+	if b.RTOMaxSeen > a.RTOMaxSeen {
+		a.RTOMaxSeen = b.RTOMaxSeen
+	}
 }
 
 // Server is a multi-endpoint serving process: N dispatch goroutines,
@@ -242,6 +258,51 @@ func (s *Server) Stop() {
 		s.pool.Close()
 	}
 	s.stopLoops()
+}
+
+// Drain gracefully drains the serving process (real-transport mode):
+// every endpoint stops admitting new sessions and requests (arrivals
+// draw PktReject), admitted work — in-flight RPCs, queued zero-copy TX
+// aliases, worker handlers — runs to completion, and then the process
+// stops. It returns true if every endpoint fully drained before
+// timeout elapsed; on false, Stop has still been called (a deadline
+// overrun must not leave the process half-alive).
+func (s *Server) Drain(timeout time.Duration) bool {
+	ok := s.endpointGroup.drain(timeout)
+	s.Stop()
+	return ok
+}
+
+// drain flips every endpoint into draining mode and polls Drained on
+// each dispatch context until all report empty or the deadline passes.
+func (g *endpointGroup) drain(timeout time.Duration) bool {
+	if g.sim {
+		panic("erpc: Drain is for real-transport mode; simulations call Rpc.Drain on the scheduler")
+	}
+	for _, r := range g.rpcs {
+		r.Post(r.Drain)
+	}
+	deadline := time.Now().Add(timeout)
+	results := make(chan bool, len(g.rpcs))
+	for {
+		for _, r := range g.rpcs {
+			r := r
+			r.Post(func() { results <- r.Drained() })
+		}
+		all := true
+		for range g.rpcs {
+			if !<-results {
+				all = false
+			}
+		}
+		if all {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // Client is the requester-side counterpart of Server: a group of

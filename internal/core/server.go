@@ -35,6 +35,13 @@ func (r *Rpc) onReqPkt(h *wire.Header, from transport.Addr, payload []byte) {
 		r.Stats.StalePktsRx++
 		return
 	}
+	if r.draining && r.srvSessions[sessKey{addr: from, num: h.DstSession}] == nil {
+		// Draining: requests from brand-new sessions are rejected
+		// before the session is even materialized (no new state during
+		// drain); existing sessions reject at admission below.
+		r.sendReject(from, h)
+		return
+	}
 	s := r.srvSession(from, h.DstSession)
 	idx := int(h.ReqNum % uint64(r.cfg.NumSlots))
 	ss := &s.srvSlots[idx]
@@ -51,12 +58,21 @@ func (r *Rpc) onReqPkt(h *wire.Header, from transport.Addr, payload []byte) {
 			r.Stats.StalePktsRx++
 			return
 		}
+		if r.draining || r.overloaded(s) {
+			// Admission point for overload shedding and drain: every
+			// packet of an unadmitted request draws an explicit reject,
+			// and the client backs off instead of RTO-storming (§4.3's
+			// bounded slots made server memory safe; this bounds CPU).
+			r.sendReject(from, h)
+			return
+		}
 		r.resetSrvSlot(ss)
 		ss.curReqNum = h.ReqNum
 		ss.reqType = h.ReqType
 		ss.msgSize = h.MsgSize
 		ss.numReqPkts = wire.NumPkts(h.MsgSize, r.dataPerPkt)
 		ss.state = srvReceiving
+		r.srvInFlight++
 	}
 
 	n := int(h.PktNum)
@@ -91,6 +107,44 @@ func (r *Rpc) onReqPkt(h *wire.Header, from transport.Addr, payload []byte) {
 	}
 }
 
+// overloaded reports whether admitting one more request on session s
+// would exceed the configured shedding limits: the server-wide
+// in-flight ceiling or the per-session admitted bound.
+func (r *Rpc) overloaded(s *Session) bool {
+	if lim := r.cfg.SrvInFlightLimit; lim > 0 && r.srvInFlight >= lim {
+		return true
+	}
+	if lim := r.cfg.SrvSessionBacklog; lim > 0 {
+		n := 0
+		for i := range s.srvSlots {
+			if st := s.srvSlots[i].state; st == srvReceiving || st == srvProcessing {
+				n++
+			}
+		}
+		if n >= lim {
+			return true
+		}
+	}
+	return false
+}
+
+// sendReject transmits an explicit rejection for the request h
+// identifies. Header-only, addressed by the client's own session and
+// request numbers, so it needs no server-side session state — a
+// draining endpoint can reject without materializing a session.
+func (r *Rpc) sendReject(from transport.Addr, h *wire.Header) {
+	r.Stats.RejectsTx++
+	r.charge(r.cost.PktTx)
+	r.sendCtrl(from, wire.Header{
+		PktType:    wire.PktReject,
+		ReqType:    h.ReqType,
+		MsgSize:    h.MsgSize,
+		DstSession: h.DstSession,
+		PktNum:     h.PktNum,
+		ReqNum:     h.ReqNum,
+	})
+}
+
 // acceptReqPkt integrates an in-order request packet and invokes the
 // handler when the request is complete.
 func (r *Rpc) acceptReqPkt(s *Session, ss *srvSlot, idx, n int, payload []byte) {
@@ -122,6 +176,7 @@ func (r *Rpc) invokeHandler(s *Session, ss *srvSlot, idx int, lastPayload []byte
 		// surface it).
 		r.Stats.StalePktsRx++
 		ss.state = srvIdle
+		r.srvInFlight--
 		return
 	}
 	ctx := r.getReqCtx()
@@ -231,6 +286,7 @@ func (r *Rpc) sendQueuedResponse(ctx *ReqContext) {
 	ss.respIsPrealloc = ctx.respIsPrealloc
 	ss.respPooled = ctx.respPooled
 	ss.state = srvResponded
+	r.srvInFlight-- // the request left the admitted (receiving/executing) set
 	r.putReqCtx(ctx)
 	r.sendRespPkt(s, ss, 0)
 }
@@ -302,6 +358,12 @@ func (r *Rpc) onRFR(h *wire.Header, from transport.Addr) {
 // the deferred-free list until its references drain at a flush
 // (drainTXFree).
 func (r *Rpc) resetSrvSlot(ss *srvSlot) {
+	if ss.state == srvReceiving || ss.state == srvProcessing {
+		// The slot held an admitted request (teardown or peer-failure
+		// reset mid-receive/mid-execute): release its share of the
+		// server-wide in-flight ceiling.
+		r.srvInFlight--
+	}
 	if ss.reqBuf != nil {
 		r.alloc.Free(ss.reqBuf)
 		ss.reqBuf = nil

@@ -32,6 +32,14 @@ type Session struct {
 	backlog []pendingReq
 	cc      ccState
 
+	// Adaptive RTO state (Jacobson/Karels, fed from the same RTT
+	// samples Timely consumes): rto = srtt + 4*rttvar, clamped to
+	// [Config.RTOMin, Config.RTOMax]. Zero srtt means no sample yet and
+	// the session falls back to Config.RTO.
+	srtt   sim.Time
+	rttvar sim.Time
+	rto    sim.Time
+
 	// Server mode.
 	srvSlots []srvSlot
 }
@@ -42,6 +50,20 @@ func (s *Session) Remote() transport.Addr { return s.remote }
 // Credits returns the currently available session credits (client
 // mode).
 func (s *Session) Credits() int { return s.credits }
+
+// RTO returns the session's current retransmission timeout: the
+// adaptive srtt + 4*rttvar estimate once RTT samples exist, clamped to
+// the configured bounds, or Config.RTO before the first sample.
+func (s *Session) RTO() sim.Time {
+	if s.rto != 0 {
+		return s.rto
+	}
+	return s.rpc.cfg.RTO
+}
+
+// SRTT returns the session's smoothed RTT estimate (0 before the first
+// sample). Exposed for experiments and tests.
+func (s *Session) SRTT() sim.Time { return s.srtt }
 
 // CCRate returns Timely's current sending rate in bytes/sec, or 0 when
 // congestion control is disabled. Exposed for experiments.
@@ -96,7 +118,17 @@ type sslot struct {
 	respTxTimes []sim.Time
 
 	lastProgress sim.Time
-	retransmits  int
+	retransmits  int // total go-back-N rollbacks for this request
+
+	// Fault-tolerance state. consecRTO counts timeouts since the last
+	// sign of progress; it drives exponential backoff and the
+	// MaxRetransmits budget, and any CR/response packet resets it.
+	// rejects counts consecutive PktRejects (MaxRejects budget);
+	// retryAt, when non-zero, parks the slot until a reject-backoff
+	// delay expires (the rtoScan re-arms transmission).
+	consecRTO int
+	rejects   int
+	retryAt   sim.Time
 }
 
 // reset prepares the slot for reuse, keeping its reqNum history.
@@ -115,6 +147,9 @@ func (ss *sslot) reset() {
 	ss.reqTxTimes = ss.reqTxTimes[:0]
 	ss.respTxTimes = ss.respTxTimes[:0]
 	ss.retransmits = 0
+	ss.consecRTO = 0
+	ss.rejects = 0
+	ss.retryAt = 0
 }
 
 // Server-slot states.

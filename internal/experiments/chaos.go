@@ -1,0 +1,525 @@
+package experiments
+
+// Chaos sweep: the fault-tolerance layer (adaptive RTO + retry
+// budgets, overload shedding, graceful drain) measured under scripted
+// adversity on the real UDP loopback datapath. Each scenario runs a
+// windowed echo workload through three wall-clock phases — a clean
+// pre-fault baseline, a fault window driven by a transport.Chaos
+// script (loss storm, blackhole partition, straggler latency,
+// duplication burst) or a server-side overload window, and a clean
+// post-fault recovery window. The sweep records goodput per phase,
+// the recovery time (first successful completion after the fault
+// clears), retransmit/reject/budget counters, and — the protocol
+// invariant — that no request executed more than once anywhere in the
+// storm. A final drain scenario stops a loaded server gracefully and
+// audits that admitted work completed and every pooled msgbuf was
+// freed.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/msgbuf"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// ChaosResult is one scenario of the chaos sweep.
+type ChaosResult struct {
+	Scenario string `json:"scenario"`
+	Fault    string `json:"fault"`
+	Window   int    `json:"window"`
+
+	PreMs   float64 `json:"pre_ms"`
+	FaultMs float64 `json:"fault_ms"`
+	PostMs  float64 `json:"post_ms"`
+
+	Issued      int `json:"issued"`
+	Completed   int `json:"completed"`
+	TimedOut    int `json:"timed_out"`
+	Overloaded  int `json:"overloaded"`
+	OtherErrors int `json:"other_errors"`
+
+	// Executions counts distinct requests the server ran;
+	// AtMostOnceViolations counts requests it ran more than once (must
+	// be zero: the retransmit/dup/reject churn may never double-execute).
+	Executions           int `json:"executions"`
+	AtMostOnceViolations int `json:"at_most_once_violations"`
+
+	Retransmits     uint64 `json:"retransmits"`
+	RejectsRx       uint64 `json:"rejects_rx"`
+	RejectsTx       uint64 `json:"rejects_tx"`
+	BudgetExhausted uint64 `json:"budget_exhausted"`
+	// RTOCurMs is the adaptive RTO gauge after the run (largest across
+	// sessions): stragglers should have pushed it up, clean wires held
+	// it at the floor.
+	RTOCurMs float64 `json:"rto_cur_ms"`
+
+	// Injected fault counts from the chaos engine (send side,
+	// client→server direction).
+	InjDrops      uint64 `json:"inj_drops"`
+	InjDups       uint64 `json:"inj_dups"`
+	InjReorders   uint64 `json:"inj_reorders"`
+	InjDelayed    uint64 `json:"inj_delayed"`
+	InjBlackholed uint64 `json:"inj_blackholed"`
+
+	PreKrps   float64 `json:"pre_krps"`
+	FaultKrps float64 `json:"fault_krps"`
+	PostKrps  float64 `json:"post_krps"`
+	// RecoveryMs is the time from the end of the fault window to the
+	// first successful completion after it — how fast goodput returns
+	// once the wire heals. -1 means no completion in the post window.
+	RecoveryMs float64 `json:"recovery_ms"`
+}
+
+// ChaosDrainResult is the graceful-drain scenario: Server.Drain fires
+// while multi-packet worker RPCs are in flight; every admitted request
+// must complete, every caught-by-the-drain request must resolve with
+// an explicit error, and the server's pooled msgbufs must balance.
+type ChaosDrainResult struct {
+	Issued               int    `json:"issued"`
+	Completed            int    `json:"completed"`
+	Overloaded           int    `json:"overloaded"`
+	TimedOut             int    `json:"timed_out"`
+	Drained              bool   `json:"drained"`
+	Executions           int    `json:"executions"`
+	AtMostOnceViolations int    `json:"at_most_once_violations"`
+	MsgbufAllocs         uint64 `json:"msgbuf_allocs"`
+	MsgbufFrees          uint64 `json:"msgbuf_frees"`
+}
+
+// chaosScenario parameterizes one run of chaosMeasure.
+type chaosScenario struct {
+	name  string
+	desc  string
+	fault transport.ChaosPhase // Dur stamped by the runner
+	// maxRetransmits overrides the client's consecutive-timeout budget
+	// (0 = core default; the blackhole scenario tightens it so budget
+	// exhaustion → ErrTimeout is observable inside the fault window).
+	maxRetransmits int
+	window         int
+	// overload replaces wire faults with a server-side overload window:
+	// handlers turn slow and the in-flight ceiling bites, so arrivals
+	// draw PktReject and clients with exhausted reject budgets see
+	// ErrServerOverloaded.
+	overload bool
+}
+
+var chaosScenarios = []chaosScenario{
+	{
+		name:   "loss_storm",
+		desc:   "30% packet loss client->server",
+		fault:  transport.ChaosPhase{Drop: 0.30},
+		window: 8,
+	},
+	{
+		name:           "blackhole",
+		desc:           "full partition client->server; retransmit budget 5 -> ErrTimeout",
+		fault:          transport.ChaosPhase{Blackhole: true},
+		maxRetransmits: 5,
+		window:         8,
+	},
+	{
+		name:   "straggler",
+		desc:   "20ms added latency on every data packet (heartbeats clean)",
+		fault:  transport.ChaosPhase{Delay: int64(20 * time.Millisecond), DataOnly: true},
+		window: 8,
+	},
+	{
+		name:   "dup_burst",
+		desc:   "35% duplication + 15% reordering client->server",
+		fault:  transport.ChaosPhase{Dup: 0.35, Reorder: 0.15},
+		window: 8,
+	},
+	{
+		name:     "overload",
+		desc:     "server slow-handler window with in-flight ceiling 4; reject budget 3 -> ErrServerOverloaded",
+		window:   16,
+		overload: true,
+	},
+}
+
+// chaosPhaseDurations returns the pre/fault/post wall-clock windows,
+// shrunk by Scale with a floor so quick runs still cross every phase.
+func chaosPhaseDurations(opts Options) (pre, fault, post time.Duration) {
+	scaled := func(base time.Duration) time.Duration {
+		d := time.Duration(float64(base) * opts.Scale)
+		if d < base/4 {
+			d = base / 4
+		}
+		return d
+	}
+	return scaled(200 * time.Millisecond), scaled(400 * time.Millisecond), scaled(600 * time.Millisecond)
+}
+
+// chaosMeasure runs one scenario: a window of concurrent echo RPCs
+// over real UDP loopback, the client's TX side wrapped in a
+// phase-scripted Chaos transport under the wall clock.
+func chaosMeasure(sc chaosScenario, opts Options) ChaosResult {
+	opts = opts.norm()
+	pre, faultDur, post := chaosPhaseDurations(opts)
+
+	srvTr, err := transport.NewUDP(transport.Addr{Node: 1, Port: 0}, "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	cliTr, err := transport.NewUDP(transport.Addr{Node: 2, Port: 0}, "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	if err := srvTr.AddPeer(cliTr.LocalAddr(), cliTr.BoundAddr().String()); err != nil {
+		panic(err)
+	}
+	if err := cliTr.AddPeer(srvTr.LocalAddr(), srvTr.BoundAddr().String()); err != nil {
+		panic(err)
+	}
+
+	// The chaos script's origin is construction time: a clean pre
+	// phase, then the fault window, then a clean wire for the rest of
+	// the run (the recovery measurement). The overload scenario keeps
+	// the wire clean throughout — its fault is server-side.
+	var phases []transport.ChaosPhase
+	if !sc.overload {
+		f := sc.fault
+		f.Dur = int64(faultDur)
+		phases = []transport.ChaosPhase{{Dur: int64(pre)}, f}
+	}
+	chaos := transport.NewChaos(cliTr, opts.Seed, func() int64 { return time.Now().UnixNano() }, phases)
+	t0 := time.Now()
+	faultStart := t0.Add(pre)
+	faultEnd := faultStart.Add(faultDur)
+	runEnd := faultEnd.Add(post)
+
+	// The server records executions by the unique id stamped into each
+	// request: the at-most-once audit across retransmits, duplicated
+	// packets and reject/retry churn.
+	var mu sync.Mutex
+	execs := map[uint32]int{}
+	nx := core.NewNexus()
+	nx.Register(1, core.Handler{RunInWorker: sc.overload, Fn: func(ctx *core.ReqContext) {
+		id := binary.BigEndian.Uint32(ctx.Req)
+		mu.Lock()
+		execs[id]++
+		mu.Unlock()
+		if sc.overload {
+			now := time.Now()
+			if now.After(faultStart) && now.Before(faultEnd) {
+				time.Sleep(3 * time.Millisecond) // the overload window: service rate collapses
+			}
+		}
+		out := ctx.AllocResponse(len(ctx.Req))
+		copy(out, ctx.Req)
+		ctx.EnqueueResponse()
+	}})
+
+	srvCfg := core.Config{Transport: srvTr, Clock: sim.NewWallClock()}
+	// The RTO floor matches the protocol default (5ms): loopback
+	// goroutine scheduling jitter on a loaded host routinely exceeds
+	// a converged sub-ms estimate, and spurious retransmits would
+	// pollute the clean phases' goodput baseline that recovery is
+	// measured against.
+	cliCfg := core.Config{
+		Transport: chaos,
+		Clock:     sim.NewWallClock(),
+		RTO:       sim.Time(10 * time.Millisecond),
+		RTOMin:    sim.Time(5 * time.Millisecond),
+		RTOMax:    sim.Time(100 * time.Millisecond),
+	}
+	if sc.maxRetransmits != 0 {
+		cliCfg.MaxRetransmits = sc.maxRetransmits
+	}
+	if sc.overload {
+		srvCfg.SrvInFlightLimit = 4
+		cliCfg.MaxRejects = 3
+	}
+	server := core.NewServer(nx, []core.Config{srvCfg}, 2)
+	client := core.NewClient(nx, []core.Config{cliCfg})
+	sess, err := client.CreateSession(0, server.Addrs())
+	if err != nil {
+		panic(err)
+	}
+	server.Start()
+	client.Start()
+
+	const reqSize = 32
+	r := client.Rpc(0)
+	reqs := make([]*msgbuf.Buf, sc.window)
+	resps := make([]*msgbuf.Buf, sc.window)
+
+	// The closed loop: every completion — success, timeout or overload
+	// failure — re-issues a fresh request (new id) until the run window
+	// closes, so offered load persists straight through the fault.
+	// All of this state lives on the dispatch goroutine.
+	var (
+		issued, completed, timedOut, overloaded, other int
+		okTimes                                        []time.Time
+		outstanding                                    int
+		nextID                                         uint32
+	)
+	done := make(chan struct{})
+	r.Post(func() {
+		for i := range reqs {
+			reqs[i], resps[i] = r.Alloc(reqSize), r.Alloc(reqSize)
+		}
+		var issue func(slot int)
+		issue = func(slot int) {
+			binary.BigEndian.PutUint32(reqs[slot].Data(), nextID)
+			nextID++
+			issued++
+			outstanding++
+			r.EnqueueRequest(sess, 1, reqs[slot], resps[slot], func(err error) {
+				outstanding--
+				now := time.Now()
+				switch {
+				case err == nil:
+					completed++
+					okTimes = append(okTimes, now)
+				case errors.Is(err, core.ErrTimeout):
+					timedOut++
+				case errors.Is(err, core.ErrServerOverloaded):
+					overloaded++
+				default:
+					other++
+				}
+				if now.Before(runEnd) {
+					issue(slot)
+				} else if outstanding == 0 {
+					close(done)
+				}
+			})
+		}
+		for s := 0; s < sc.window; s++ {
+			issue(s)
+		}
+	})
+	select {
+	case <-done:
+	case <-time.After(runEnd.Sub(t0) + 30*time.Second):
+		panic(fmt.Sprintf("chaos scenario %s: RPCs hung past the run window", sc.name))
+	}
+	client.Stop()
+	server.Stop()
+
+	mu.Lock()
+	executions, violations := len(execs), 0
+	for _, n := range execs {
+		if n > 1 {
+			violations++
+		}
+	}
+	mu.Unlock()
+
+	res := ChaosResult{
+		Scenario:             sc.name,
+		Fault:                sc.desc,
+		Window:               sc.window,
+		PreMs:                float64(pre) / 1e6,
+		FaultMs:              float64(faultDur) / 1e6,
+		PostMs:               float64(post) / 1e6,
+		Issued:               issued,
+		Completed:            completed,
+		TimedOut:             timedOut,
+		Overloaded:           overloaded,
+		OtherErrors:          other,
+		Executions:           executions,
+		AtMostOnceViolations: violations,
+		InjDrops:             chaos.Drops.Load(),
+		InjDups:              chaos.Dups.Load(),
+		InjReorders:          chaos.Reorders.Load(),
+		InjDelayed:           chaos.Delayed.Load(),
+		InjBlackholed:        chaos.Blackholed.Load(),
+		RecoveryMs:           -1,
+	}
+	cst, sst := client.Stats(), server.Stats()
+	res.Retransmits = cst.Retransmits
+	res.RejectsRx = cst.RejectsRx
+	res.BudgetExhausted = cst.BudgetExhausted
+	res.RejectsTx = sst.RejectsTx
+	res.RTOCurMs = float64(cst.RTOCur) / 1e6
+
+	var nPre, nFault, nPost int
+	for _, ts := range okTimes {
+		switch {
+		case ts.Before(faultStart):
+			nPre++
+		case ts.Before(faultEnd):
+			nFault++
+		default:
+			nPost++
+			if res.RecoveryMs < 0 {
+				res.RecoveryMs = float64(ts.Sub(faultEnd)) / 1e6
+			}
+		}
+	}
+	res.PreKrps = float64(nPre) / pre.Seconds() / 1e3
+	res.FaultKrps = float64(nFault) / faultDur.Seconds() / 1e3
+	res.PostKrps = float64(nPost) / post.Seconds() / 1e3
+
+	srvTr.Close()
+	cliTr.Close()
+	return res
+}
+
+// chaosDrainMeasure runs the graceful-drain scenario: a burst of
+// multi-packet worker RPCs, Server.Drain fired with most still in
+// flight. Admitted work must complete, caught work must resolve with
+// an explicit error, nothing may run twice, and the server's pooled
+// request-reassembly msgbufs must balance (no leak across the drain).
+func chaosDrainMeasure(opts Options) ChaosDrainResult {
+	opts = opts.norm()
+	const (
+		nreqs   = 32
+		minOK   = 4
+		reqSize = 4000 // 3 packets: exercises CRs and the pooled reqBuf path
+	)
+
+	var mu sync.Mutex
+	execs := map[uint32]int{}
+	nx := core.NewNexus()
+	nx.Register(1, core.Handler{RunInWorker: true, Fn: func(ctx *core.ReqContext) {
+		id := binary.BigEndian.Uint32(ctx.Req)
+		mu.Lock()
+		execs[id]++
+		mu.Unlock()
+		time.Sleep(time.Millisecond) // hold the request in flight
+		out := ctx.AllocResponse(len(ctx.Req))
+		copy(out, ctx.Req)
+		ctx.EnqueueResponse()
+	}})
+
+	srvTr, err := transport.NewUDP(transport.Addr{Node: 1, Port: 0}, "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	cliTr, err := transport.NewUDP(transport.Addr{Node: 2, Port: 0}, "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	if err := srvTr.AddPeer(cliTr.LocalAddr(), cliTr.BoundAddr().String()); err != nil {
+		panic(err)
+	}
+	if err := cliTr.AddPeer(srvTr.LocalAddr(), srvTr.BoundAddr().String()); err != nil {
+		panic(err)
+	}
+
+	server := core.NewServer(nx, []core.Config{{Transport: srvTr, Clock: sim.NewWallClock()}}, 2)
+	client := core.NewClient(nx, []core.Config{{
+		Transport: cliTr,
+		Clock:     sim.NewWallClock(),
+		// Tight budgets so requests caught by the drain resolve fast:
+		// a few rejects then ErrServerOverloaded, or a few silent
+		// timeouts then ErrTimeout once the server stops.
+		RTO:            sim.Time(2 * time.Millisecond),
+		MaxRetransmits: 5,
+		MaxRejects:     3,
+	}})
+	sess, err := client.CreateSession(0, server.Addrs())
+	if err != nil {
+		panic(err)
+	}
+	server.Start()
+	client.Start()
+
+	var (
+		resolved, okCount, rejCount, toCount int
+		resolvedCh                           = make(chan int, nreqs)
+	)
+	finished := make(chan struct{})
+	r := client.Rpc(0)
+	r.Post(func() {
+		for i := 0; i < nreqs; i++ {
+			req, resp := r.Alloc(reqSize), r.Alloc(reqSize)
+			binary.BigEndian.PutUint32(req.Data(), uint32(i))
+			r.EnqueueRequest(sess, 1, req, resp, func(err error) {
+				switch {
+				case err == nil:
+					okCount++
+					resolvedCh <- okCount
+				case errors.Is(err, core.ErrServerOverloaded):
+					rejCount++
+					resolvedCh <- -1
+				case errors.Is(err, core.ErrTimeout):
+					toCount++
+					resolvedCh <- -1
+				default:
+					panic(fmt.Sprintf("chaos drain: unexpected error %v", err))
+				}
+				if resolved++; resolved == nreqs {
+					close(finished)
+				}
+			})
+		}
+	})
+
+	// Let a slice of the burst complete, then drain with the rest in
+	// flight. Drain stops the server when it returns (drained or not).
+	deadline := time.Now().Add(30 * time.Second)
+	seenOK := 0
+	for seenOK < minOK {
+		select {
+		case n := <-resolvedCh:
+			if n > seenOK {
+				seenOK = n
+			}
+		case <-time.After(time.Until(deadline)):
+			panic("chaos drain: too few RPCs completed before the drain trigger")
+		}
+	}
+	drained := server.Drain(10 * time.Second)
+	select {
+	case <-finished:
+	case <-time.After(30 * time.Second):
+		panic("chaos drain: drain left RPCs unresolved")
+	}
+	client.Stop()
+
+	mu.Lock()
+	executions, violations := len(execs), 0
+	for _, n := range execs {
+		if n > 1 {
+			violations++
+		}
+	}
+	mu.Unlock()
+	allocs, frees := server.Rpc(0).AllocBalance()
+
+	srvTr.Close()
+	cliTr.Close()
+	return ChaosDrainResult{
+		Issued:               nreqs,
+		Completed:            okCount,
+		Overloaded:           rejCount,
+		TimedOut:             toCount,
+		Drained:              drained,
+		Executions:           executions,
+		AtMostOnceViolations: violations,
+		MsgbufAllocs:         allocs,
+		MsgbufFrees:          frees,
+	}
+}
+
+// ChaosSweep runs every chaos scenario plus the drain audit.
+func ChaosSweep(opts Options, printf func(format string, a ...any)) ([]ChaosResult, ChaosDrainResult) {
+	opts = opts.norm()
+	results := make([]ChaosResult, 0, len(chaosScenarios))
+	for i, sc := range chaosScenarios {
+		o := opts
+		o.Seed = opts.Seed + int64(i) // distinct fault lottery per scenario, still reproducible
+		m := chaosMeasure(sc, o)
+		printf("chaos %-10s  pre %.1f krps, fault %.1f krps, post %.1f krps, recovery %.1f ms; "+
+			"%d ok / %d timeout / %d overload; rtx %d, rejects %d, budget-exhausted %d, violations %d\n",
+			m.Scenario, m.PreKrps, m.FaultKrps, m.PostKrps, m.RecoveryMs,
+			m.Completed, m.TimedOut, m.Overloaded,
+			m.Retransmits, m.RejectsRx, m.BudgetExhausted, m.AtMostOnceViolations)
+		results = append(results, m)
+	}
+	d := chaosDrainMeasure(opts)
+	printf("chaos drain       %d/%d completed, %d overloaded, %d timed out, drained=%v, msgbufs %d/%d, violations %d\n",
+		d.Completed, d.Issued, d.Overloaded, d.TimedOut, d.Drained,
+		d.MsgbufFrees, d.MsgbufAllocs, d.AtMostOnceViolations)
+	return results, d
+}

@@ -53,6 +53,12 @@ const (
 	PktPing
 	// PktPong answers a PktPing, header-only.
 	PktPong
+	// PktReject is an explicit overload/drain rejection, server →
+	// client, header-only: the server refuses to admit the request
+	// identified by ReqNum (bounded backlog or in-flight ceiling
+	// exceeded, or the endpoint is draining). The client backs off and
+	// retries later instead of hammering the RTO path.
+	PktReject
 )
 
 func (t PktType) String() string {
@@ -69,13 +75,15 @@ func (t PktType) String() string {
 		return "ping"
 	case PktPong:
 		return "pong"
+	case PktReject:
+		return "reject"
 	}
 	return fmt.Sprintf("pkttype(%d)", uint8(t))
 }
 
 // IsServerToClient reports whether this packet type flows from the
 // server endpoint of a session to the client endpoint.
-func (t PktType) IsServerToClient() bool { return t == PktCR || t == PktResp }
+func (t PktType) IsServerToClient() bool { return t == PktCR || t == PktResp || t == PktReject }
 
 // HasData reports whether packets of this type carry payload bytes.
 func (t PktType) HasData() bool { return t == PktReq || t == PktResp }
@@ -104,7 +112,7 @@ func (h *Header) Encode(buf []byte) error {
 	if len(buf) < HeaderSize {
 		return ErrShortPacket
 	}
-	if h.MsgSize > MaxMsgSize || h.ReqNum > MaxReqNum || h.PktType > PktPong {
+	if h.MsgSize > MaxMsgSize || h.ReqNum > MaxReqNum || h.PktType > PktReject {
 		return ErrFieldRange
 	}
 	w0 := uint64(Magic) |

@@ -30,7 +30,7 @@ func TestHeaderRoundtrip(t *testing.T) {
 func TestHeaderRoundtripProperty(t *testing.T) {
 	f := func(pt uint8, reqType uint8, msgSize uint32, sess uint16, pktNum uint16, reqNum uint64) bool {
 		h := Header{
-			PktType:    PktType(pt % 6),
+			PktType:    PktType(pt % 7),
 			ReqType:    reqType,
 			MsgSize:    msgSize % (MaxMsgSize + 1),
 			DstSession: sess,
@@ -66,6 +66,11 @@ func TestHeaderEncodeRangeChecks(t *testing.T) {
 	if err := h.Encode(buf[:]); err != ErrFieldRange {
 		t.Fatalf("bad PktType: err = %v, want ErrFieldRange", err)
 	}
+	// PktReject (6) is the highest valid type and must encode.
+	h = Header{PktType: PktReject}
+	if err := h.Encode(buf[:]); err != nil {
+		t.Fatalf("PktReject should encode: %v", err)
+	}
 }
 
 func TestHeaderShortBuffers(t *testing.T) {
@@ -92,11 +97,14 @@ func TestHeaderBadMagic(t *testing.T) {
 }
 
 func TestPktTypePredicates(t *testing.T) {
-	if !PktCR.IsServerToClient() || !PktResp.IsServerToClient() {
-		t.Fatal("CR/Resp should be server-to-client")
+	if !PktCR.IsServerToClient() || !PktResp.IsServerToClient() || !PktReject.IsServerToClient() {
+		t.Fatal("CR/Resp/Reject should be server-to-client")
 	}
 	if PktReq.IsServerToClient() || PktRFR.IsServerToClient() {
 		t.Fatal("Req/RFR should be client-to-server")
+	}
+	if PktReject.HasData() {
+		t.Fatal("Reject is header-only")
 	}
 	if !PktReq.HasData() || !PktResp.HasData() {
 		t.Fatal("Req/Resp carry data")
